@@ -1,0 +1,586 @@
+package adjarray_test
+
+// bench_test.go — the benchmark harness regenerating every figure and
+// experiment of the paper (E1–E11 in DESIGN.md), plus the ablations of
+// the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The paper's evaluation is exact array contents rather than timings,
+// so the Figure benches both regenerate the artifact each iteration
+// and assert it still matches the paper (a mismatch fails the bench).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adjarray"
+	"adjarray/internal/algo"
+	"adjarray/internal/assoc"
+	"adjarray/internal/dataset"
+	"adjarray/internal/graph"
+	"adjarray/internal/semiring"
+	"adjarray/internal/shard"
+	"adjarray/internal/sparse"
+	"adjarray/internal/tstore"
+	"adjarray/internal/value"
+)
+
+// E1 — Figure 1: dense table → exploded sparse incidence array.
+func BenchmarkFigure1Explode(b *testing.B) {
+	table := dataset.MusicTable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := assoc.Explode(table, assoc.ExplodeOptions{})
+		if err != nil || e.NNZ() != 186 {
+			b.Fatalf("explode: %v nnz=%d", err, e.NNZ())
+		}
+	}
+}
+
+// E2 — Figure 2: Matlab-style sub-array selection.
+func BenchmarkFigure2Subarray(b *testing.B) {
+	e := dataset.MusicIncidence()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e1, err := e.SubRefExpr(":", "Genre|A : Genre|Z")
+		if err != nil || e1.NNZ() != 30 {
+			b.Fatal("E1 selection wrong")
+		}
+		e2, err := e.SubRefExpr(":", "Writer|A : Writer|Z")
+		if err != nil || e2.NNZ() != 45 {
+			b.Fatal("E2 selection wrong")
+		}
+	}
+}
+
+// E3 — Figure 3: the seven operator-pair correlations, checked against
+// the paper each iteration.
+func BenchmarkFigure3Semirings(b *testing.B) {
+	e1, e2 := dataset.MusicE1E2()
+	expected := dataset.Figure3Expected()
+	for _, ops := range semiring.Figure3Pairs() {
+		ops := ops
+		b.Run(ops.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := assoc.Correlate(e1, e2, ops, assoc.MulOptions{})
+				if err != nil || !got.Equal(expected[ops.Name], value.Float64Equal) {
+					b.Fatalf("%s does not match the paper", ops.Name)
+				}
+			}
+		})
+	}
+}
+
+// E4 — Figure 4: value re-weighting of E1.
+func BenchmarkFigure4Reweight(b *testing.B) {
+	e1, _ := dataset.MusicE1E2()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := e1.Map(func(_, col string, v float64) float64 {
+			switch col {
+			case dataset.GenrePop:
+				return 2
+			case dataset.GenreRock:
+				return 3
+			default:
+				return 1
+			}
+		})
+		if w.NNZ() != 30 {
+			b.Fatal("reweight changed pattern")
+		}
+	}
+}
+
+// E5 — Figure 5: correlations with diverse weights, checked against the
+// paper each iteration.
+func BenchmarkFigure5Semirings(b *testing.B) {
+	e1w := dataset.MusicE1Weighted()
+	_, e2 := dataset.MusicE1E2()
+	expected := dataset.Figure5Expected()
+	for _, ops := range semiring.Figure3Pairs() {
+		ops := ops
+		b.Run(ops.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := assoc.Correlate(e1w, e2, ops, assoc.MulOptions{})
+				if err != nil || !got.Equal(expected[ops.Name], value.Float64Equal) {
+					b.Fatalf("%s does not match the paper", ops.Name)
+				}
+			}
+		})
+	}
+}
+
+// E6 — Theorem II.1 forward direction: full verification (dense oracle
+// + sparse kernel + Definition I.5 check) on a random graph.
+func BenchmarkTheoremForward(b *testing.B) {
+	g := dataset.ErdosRenyi(rand.New(rand.NewSource(1)), 48, 0.05)
+	for _, name := range []string{"+.*", "max.min"} {
+		e, _ := semiring.Lookup(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := graph.VerifyConstruction(g, e.Ops, graph.Weights[float64]{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E7 — Theorem II.1 converse: witness search plus gadget demonstration
+// for the non-compliant algebras.
+func BenchmarkTheoremGadgets(b *testing.B) {
+	entries := []string{"max.+@0", "real+.real*"}
+	for _, name := range entries {
+		e, _ := semiring.Lookup(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if v := graph.FindViolation(e.Ops, e.Sample); v == nil {
+					b.Fatalf("%s: no violation found", name)
+				}
+			}
+		})
+	}
+}
+
+// E8 — Corollary III.1: reverse-graph adjacency construction.
+func BenchmarkReverseGraph(b *testing.B) {
+	g := dataset.ErdosRenyi(rand.New(rand.NewSource(2)), 48, 0.05)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := graph.VerifyReverse(g, semiring.PlusTimes(), graph.Weights[float64]{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9 — Section III classification of all built-in algebras.
+func BenchmarkClassifyAlgebras(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := semiring.Classify()
+		if len(rows) < 15 {
+			b.Fatal("classification shrank")
+		}
+	}
+}
+
+// E10 — Section III set-valued correlation over the document corpus.
+func BenchmarkDocWordsUnionIntersect(b *testing.B) {
+	corpus := dataset.DocCorpus()
+	e := dataset.SharedWordIncidence(corpus)
+	var universe value.Set
+	for _, d := range corpus {
+		universe = universe.Union(d.Words)
+	}
+	ops := semiring.PowerSet(universe)
+	want := dataset.SharedWordsExpected(corpus)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := assoc.Correlate(e, e, ops, assoc.MulOptions{})
+		if err != nil || !got.Equal(want, func(x, y value.Set) bool { return x.Equal(y) }) {
+			b.Fatal("∪.∩ correlation mismatch")
+		}
+	}
+}
+
+// E11 — construction scaling across workload sizes and backends.
+func BenchmarkConstructionScaling(b *testing.B) {
+	for _, scale := range []int{8, 10, 12} {
+		g := dataset.RMAT(rand.New(rand.NewSource(3)), scale, 8)
+		one := func(graph.Edge) float64 { return 1 }
+		eout, ein, err := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+		if err != nil {
+			b.Fatal(err)
+		}
+		moutT := eout.Transpose().Matrix()
+		min := ein.Matrix()
+		b.Run(fmt.Sprintf("rmat-s%d/csr", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparse.MulGustavson(moutT, min, semiring.PlusTimes()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rmat-s%d/parallel", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparse.MulParallel(moutT, min, semiring.PlusTimes(), -1, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if scale <= 10 { // tstore is the slow path; keep the sweep bounded
+			sOut := tstore.FromArray(eout, value.FormatFloat, tstore.Options{})
+			sIn := tstore.FromArray(ein, value.FormatFloat, tstore.Options{})
+			codec := tstore.Codec[float64]{Parse: value.ParseFloat, Format: value.FormatFloat}
+			b.Run(fmt.Sprintf("rmat-s%d/tstore", scale), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := tstore.AdjacencyFromTables(sOut, sIn, semiring.PlusTimes(), codec); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Ablation — SpGEMM accumulator variants (DESIGN.md §5).
+func BenchmarkSpGEMMVariants(b *testing.B) {
+	g := dataset.RMAT(rand.New(rand.NewSource(4)), 10, 8)
+	one := func(graph.Edge) float64 { return 1 }
+	eout, ein, _ := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+	a := eout.Transpose().Matrix()
+	c := ein.Matrix()
+	variants := map[string]func() error{
+		"gustavson": func() error { _, err := sparse.MulGustavson(a, c, semiring.PlusTimes()); return err },
+		"hash":      func() error { _, err := sparse.MulHash(a, c, semiring.PlusTimes()); return err },
+		"merge":     func() error { _, err := sparse.MulMerge(a, c, semiring.PlusTimes()); return err },
+	}
+	for name, fn := range variants {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation — key alignment: pre-aligned shared dimension vs key sets
+// that need intersection and extraction first.
+func BenchmarkKeyAlignment(b *testing.B) {
+	g := dataset.Bipartite(rand.New(rand.NewSource(5)), 256, 256, 4096)
+	one := func(graph.Edge) float64 { return 1 }
+	eout, ein, _ := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+	aligned := eout.Transpose()
+
+	// Misaligned: drop one edge row from ein so the shared key sets
+	// differ and Mul must intersect.
+	ts := ein.Triples()[1:]
+	einMis := assoc.FromTriples(ts, nil)
+
+	b.Run("aligned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := assoc.Mul(aligned, ein, semiring.PlusTimes(), assoc.MulOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("intersecting", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := assoc.Mul(aligned, einMis, semiring.PlusTimes(), assoc.MulOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation — parallel grain size.
+func BenchmarkParallelGrain(b *testing.B) {
+	g := dataset.RMAT(rand.New(rand.NewSource(6)), 11, 8)
+	one := func(graph.Edge) float64 { return 1 }
+	eout, ein, _ := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+	a := eout.Transpose().Matrix()
+	c := ein.Matrix()
+	for _, grain := range []int{1, 16, 256, 0} {
+		name := fmt.Sprintf("grain-%d", grain)
+		if grain == 0 {
+			name = "grain-auto"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparse.MulParallel(a, c, semiring.PlusTimes(), -1, grain); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation — materialized CSR multiply vs streaming tstore TableMult.
+func BenchmarkTableMultVsCSR(b *testing.B) {
+	g := dataset.RMAT(rand.New(rand.NewSource(7)), 9, 8)
+	one := func(graph.Edge) float64 { return 1 }
+	eout, ein, _ := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
+		a := eout.Transpose().Matrix()
+		c := ein.Matrix()
+		for i := 0; i < b.N; i++ {
+			if _, err := sparse.MulGustavson(a, c, semiring.PlusTimes()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tstore", func(b *testing.B) {
+		b.ReportAllocs()
+		sOut := tstore.FromArray(eout, value.FormatFloat, tstore.Options{})
+		sIn := tstore.FromArray(ein, value.FormatFloat, tstore.Options{})
+		codec := tstore.Codec[float64]{Parse: value.ParseFloat, Format: value.FormatFloat}
+		for i := 0; i < b.N; i++ {
+			if _, err := tstore.AdjacencyFromTables(sOut, sIn, semiring.PlusTimes(), codec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation — the cost of the generic Ops[V] abstraction versus a
+// hand-specialized float64 +.× kernel.
+func BenchmarkGenericVsSpecialized(b *testing.B) {
+	g := dataset.RMAT(rand.New(rand.NewSource(8)), 10, 8)
+	one := func(graph.Edge) float64 { return 1 }
+	eout, ein, _ := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+	a := eout.Transpose().Matrix()
+	c := ein.Matrix()
+
+	b.Run("generic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sparse.MulGustavson(a, c, semiring.PlusTimes()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("specialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			specializedPlusTimes(a, c)
+		}
+	})
+}
+
+// specializedPlusTimes is a monomorphic float64 Gustavson kernel used
+// only as the ablation baseline.
+func specializedPlusTimes(a, b *sparse.CSR[float64]) int {
+	acc := make([]float64, b.Cols())
+	stamp := make([]int, b.Cols())
+	touched := make([]int, 0, b.Cols())
+	cur := 0
+	nnz := 0
+	for i := 0; i < a.Rows(); i++ {
+		cur++
+		touched = touched[:0]
+		aCols, aVals := a.Row(i)
+		for p, k := range aCols {
+			av := aVals[p]
+			bCols, bVals := b.Row(k)
+			for q, j := range bCols {
+				if stamp[j] != cur {
+					stamp[j] = cur
+					acc[j] = av * bVals[q]
+					touched = append(touched, j)
+				} else {
+					acc[j] += av * bVals[q]
+				}
+			}
+		}
+		for _, j := range touched {
+			if acc[j] != 0 {
+				nnz++
+			}
+		}
+	}
+	return nnz
+}
+
+// Ablation — serial vs parallel transpose.
+func BenchmarkTransposeParallel(b *testing.B) {
+	g := dataset.RMAT(rand.New(rand.NewSource(9)), 12, 8)
+	one := func(graph.Edge) float64 { return 1 }
+	eout, _, _ := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+	m := eout.Matrix()
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Transpose()
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sparse.TransposeParallel(m, -1)
+		}
+	})
+}
+
+// Ablation — masked vs unmasked triangle counting: C⟨A⟩ = A·A versus
+// materializing A² and intersecting.
+func BenchmarkMaskedVsUnmaskedTriangles(b *testing.B) {
+	// Symmetric power-law-ish graph: R-MAT pattern symmetrized.
+	g := dataset.RMAT(rand.New(rand.NewSource(10)), 9, 8)
+	bld := assoc.NewBuilder[float64](nil)
+	for _, e := range g.Edges() {
+		if e.Src != e.Dst {
+			bld.Set(e.Src, e.Dst, 1)
+			bld.Set(e.Dst, e.Src, 1)
+		}
+	}
+	p := bld.Build()
+	ops := semiring.PlusTimes()
+	b.Run("masked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := assoc.MulMasked(p, p, p, ops); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unmasked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sq, err := assoc.Mul(p, p, ops, assoc.MulOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := assoc.ElementMul(sq, p, ops); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Algorithm-suite benchmarks on a constructed adjacency array (the
+// paper's "variety of algorithms" downstream of construction).
+func BenchmarkAlgorithmsOnConstructedArray(b *testing.B) {
+	g := dataset.RMAT(rand.New(rand.NewSource(12)), 9, 8)
+	one := func(graph.Edge) float64 { return 1 }
+	a, _, _, err := graph.BuildAdjacency(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one}, assoc.MulOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := a.RowKeys().Key(0)
+	b.Run("bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algo.BFSLevels(a, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sssp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algo.SSSP(a, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("components", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algo.Components(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pagerank", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := algo.PageRank(a, 0.85, 1e-8, 100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Provenance multiply vs value multiply on the music figures.
+func BenchmarkProvenanceMultiply(b *testing.B) {
+	e1, e2 := dataset.MusicE1E2()
+	b.Run("values", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := assoc.Correlate(e1, e2, semiring.PlusTimes(), assoc.MulOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("edge-keys", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := assoc.CorrelateKeys(e1, e2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation — construction decomposition: output-row-blocked SpGEMM vs
+// edge-sharded partial products (the D4M parallel-ingest shape).
+func BenchmarkShardedVsRowBlocked(b *testing.B) {
+	g := dataset.RMAT(rand.New(rand.NewSource(14)), 10, 8)
+	one := func(graph.Edge) float64 { return 1 }
+	eout, ein, _ := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+	b.Run("row-blocked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := assoc.Correlate(eout, ein, semiring.PlusTimes(), assoc.MulOptions{Workers: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shard.Construct(eout, ein, semiring.PlusTimes(), shard.Options{Shards: shards, Workers: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Pipeline at scale: the full Figure 1→3 flow (explode → subref →
+// correlate) over synthetic music-shaped tables of growing size.
+func BenchmarkPipelineScaling(b *testing.B) {
+	for _, records := range []int{500, 2000, 8000} {
+		tab := dataset.SyntheticTable(rand.New(rand.NewSource(15)), dataset.DefaultSyntheticSpec(records))
+		b.Run(fmt.Sprintf("records-%d", records), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e, err := assoc.Explode(tab, assoc.ExplodeOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e1, err := e.SubRefExpr(":", "Genre|*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				e2, err := e.SubRefExpr(":", "Writer|*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := assoc.Correlate(e1, e2, semiring.PlusTimes(), assoc.MulOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// End-to-end public-API benchmark: the full Build pipeline including
+// condition checks, as a downstream user would call it.
+func BenchmarkBuildPipeline(b *testing.B) {
+	e1, e2 := dataset.MusicE1E2()
+	for _, backend := range []adjarray.BuildBackend{adjarray.BackendCSR, adjarray.BackendParallel} {
+		b.Run(string(backend), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := adjarray.Build(adjarray.BuildRequest{
+					Eout: e1, Ein: e2, Semiring: "+.*", Backend: backend,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+// Command graphbench times adjacency construction over synthetic
+// workloads — the scaling experiment (E11). It sweeps generator sizes,
+// backends, and worker counts, and prints one row per configuration:
+//
+//	generator  vertices  edges  semiring  backend  workers  nnz  build_time
+//
+// Usage:
+//
+//	graphbench                       # default R-MAT sweep, all backends
+//	graphbench -gen er -n 2000 -p 0.002
+//	graphbench -gen rmat -scale 12 -ef 8 -backend parallel -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"adjarray/internal/core"
+	"adjarray/internal/dataset"
+	"adjarray/internal/graph"
+	"adjarray/internal/render"
+	"adjarray/internal/semiring"
+)
+
+func main() {
+	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | sweep")
+	scale := flag.Int("scale", 10, "R-MAT scale (2^scale vertices)")
+	ef := flag.Int("ef", 8, "R-MAT edge factor")
+	n := flag.Int("n", 1000, "Erdős–Rényi / bipartite vertex count")
+	p := flag.Float64("p", 0.005, "Erdős–Rényi edge probability")
+	sr := flag.String("semiring", "+.*", "operator pair")
+	backend := flag.String("backend", "", "single backend (default: all)")
+	workers := flag.Int("workers", 0, "parallel backend workers (0 = all cores)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if _, ok := semiring.Lookup(*sr); !ok {
+		fmt.Fprintf(os.Stderr, "graphbench: unknown semiring %q\n", *sr)
+		os.Exit(2)
+	}
+
+	var rows [][]string
+	run := func(name string, g *graph.Graph) {
+		backends := []core.Backend{core.BackendCSR, core.BackendParallel, core.BackendTStore}
+		if *backend != "" {
+			backends = []core.Backend{core.Backend(*backend)}
+		}
+		one := func(graph.Edge) float64 { return 1 }
+		eout, ein, err := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench:", err)
+			os.Exit(1)
+		}
+		for _, b := range backends {
+			start := time.Now()
+			res, err := core.Build(core.Request{
+				Eout: eout, Ein: ein, Semiring: *sr, Backend: b, Workers: *workers,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "graphbench:", err)
+				os.Exit(1)
+			}
+			elapsed := time.Since(start)
+			rows = append(rows, []string{
+				name,
+				fmt.Sprint(g.Vertices().Len()),
+				fmt.Sprint(g.NumEdges()),
+				*sr,
+				string(b),
+				fmt.Sprint(*workers),
+				fmt.Sprint(res.Adjacency.NNZ()),
+				elapsed.Round(10 * time.Microsecond).String(),
+			})
+		}
+	}
+
+	r := rand.New(rand.NewSource(*seed))
+	switch *gen {
+	case "rmat":
+		run("rmat", dataset.RMAT(r, *scale, *ef))
+	case "er":
+		run("er", dataset.ErdosRenyi(r, *n, *p))
+	case "bipartite":
+		run("bipartite", dataset.Bipartite(r, *n, *n, *n**ef))
+	case "sweep":
+		for _, s := range []int{8, 10, 12} {
+			run(fmt.Sprintf("rmat-s%d", s), dataset.RMAT(r, s, *ef))
+		}
+		run("er", dataset.ErdosRenyi(r, *n, *p))
+		run("bipartite", dataset.Bipartite(r, *n, *n, 8**n))
+	default:
+		fmt.Fprintf(os.Stderr, "graphbench: unknown generator %q\n", *gen)
+		os.Exit(2)
+	}
+
+	fmt.Print(render.Columns(
+		[]string{"generator", "vertices", "edges", "semiring", "backend", "workers", "nnz", "build_time"},
+		rows,
+	))
+}

@@ -1,0 +1,150 @@
+// Command musicfigs regenerates the paper's Figures 1–5 from the
+// reconstructed music-metadata dataset and (with -check) compares every
+// computed adjacency array against the values printed in the paper.
+//
+// Usage:
+//
+//	musicfigs            # print all five figures
+//	musicfigs -fig 3     # print one figure
+//	musicfigs -check     # exit non-zero unless Figures 3 and 5 match
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/dataset"
+	"adjarray/internal/semiring"
+	"adjarray/internal/value"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to print (1-5; 0 = all)")
+	check := flag.Bool("check", false, "compare computed arrays against the paper's values")
+	prov := flag.Bool("prov", false, "print the provenance form of Figure 3 (entries = connecting track sets)")
+	flag.Parse()
+
+	if *prov {
+		printProvenance()
+		return
+	}
+	if *check {
+		if err := checkFigures(); err != nil {
+			fmt.Fprintln(os.Stderr, "FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("OK: Figures 3 and 5 match the paper bit-for-bit (7 operator pairs each)")
+		return
+	}
+
+	figs := []int{1, 2, 3, 4, 5}
+	if *fig != 0 {
+		figs = []int{*fig}
+	}
+	for _, f := range figs {
+		switch f {
+		case 1:
+			printFigure1()
+		case 2:
+			printFigure2()
+		case 3:
+			printFigure3()
+		case 4:
+			printFigure4()
+		case 5:
+			printFigure5()
+		default:
+			fmt.Fprintf(os.Stderr, "musicfigs: no figure %d\n", f)
+			os.Exit(2)
+		}
+	}
+}
+
+func printFigure1() {
+	fmt.Println("=== Figure 1: D4M sparse associative array E (exploded music table) ===")
+	e := dataset.MusicIncidence()
+	fmt.Print(assoc.Format(e, value.FormatFloat))
+	fmt.Printf("(%d rows × %d columns, %d entries)\n\n", e.RowKeys().Len(), e.ColKeys().Len(), e.NNZ())
+}
+
+func printFigure2() {
+	fmt.Println("=== Figure 2: sub-arrays E1 = E(:,'Genre|*') and E2 = E(:,'Writer|*') ===")
+	e1, e2 := dataset.MusicE1E2()
+	fmt.Println("E1:")
+	fmt.Print(assoc.Format(e1, value.FormatFloat))
+	fmt.Println("\nE2:")
+	fmt.Print(assoc.Format(e2, value.FormatFloat))
+	fmt.Println()
+}
+
+func printCorrelations(e1, e2 *assoc.Array[float64]) {
+	for _, ops := range semiring.Figure3Pairs() {
+		a, err := assoc.Correlate(e1, e2, ops, assoc.MulOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "musicfigs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("E1ᵀ %s E2:\n", ops.Name)
+		fmt.Print(assoc.Format(a, value.FormatFloat))
+		fmt.Println()
+	}
+}
+
+func printFigure3() {
+	fmt.Println("=== Figure 3: E1ᵀ ⊕.⊗ E2 under seven operator pairs (all weights 1) ===")
+	e1, e2 := dataset.MusicE1E2()
+	printCorrelations(e1, e2)
+}
+
+func printFigure4() {
+	fmt.Println("=== Figure 4: E1 re-weighted (Electronic=1, Pop=2, Rock=3) ===")
+	fmt.Print(assoc.Format(dataset.MusicE1Weighted(), value.FormatFloat))
+	fmt.Println()
+}
+
+func printFigure5() {
+	fmt.Println("=== Figure 5: E1ᵀ ⊕.⊗ E2 with re-weighted E1 ===")
+	_, e2 := dataset.MusicE1E2()
+	printCorrelations(dataset.MusicE1Weighted(), e2)
+}
+
+func printProvenance() {
+	fmt.Println("=== Provenance form of Figure 3: E1ᵀ E2 with entries = connecting tracks ===")
+	e1, e2 := dataset.MusicE1E2()
+	p, err := assoc.CorrelateKeys(e1, e2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "musicfigs:", err)
+		os.Exit(1)
+	}
+	fmt.Print(assoc.Format(p, func(s value.Set) string { return fmt.Sprintf("%d", s.Len()) }))
+	fmt.Println("\n(cell values show |connecting track set|; full sets below)")
+	p.Iterate(func(genre, writer string, tracks value.Set) {
+		fmt.Printf("%s × %s: %s\n", genre, writer, tracks)
+	})
+}
+
+func checkFigures() error {
+	e1, e2 := dataset.MusicE1E2()
+	e1w := dataset.MusicE1Weighted()
+	eq := value.Float64Equal
+	for figName, cfg := range map[string]struct {
+		e1       *assoc.Array[float64]
+		expected map[string]*assoc.Array[float64]
+	}{
+		"Figure 3": {e1, dataset.Figure3Expected()},
+		"Figure 5": {e1w, dataset.Figure5Expected()},
+	} {
+		for _, ops := range semiring.Figure3Pairs() {
+			got, err := assoc.Correlate(cfg.e1, e2, ops, assoc.MulOptions{})
+			if err != nil {
+				return err
+			}
+			if !got.Equal(cfg.expected[ops.Name], eq) {
+				return fmt.Errorf("%s under %s does not match the paper", figName, ops.Name)
+			}
+		}
+	}
+	return nil
+}

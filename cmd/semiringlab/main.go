@@ -1,0 +1,135 @@
+// Command semiringlab reports the algebraic analysis of the built-in
+// operator pairs: the Section III classification table, the full
+// Theorem II.1 condition report per pair, and — for non-compliant
+// pairs — the concrete Lemma II.2–II.4 gadget graph whose incidence
+// product fails to be an adjacency array.
+//
+// Usage:
+//
+//	semiringlab              # classification table for all algebras
+//	semiringlab -pair max.+  # full report for one pair
+//	semiringlab -gadgets     # demonstrate violations for non-examples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/graph"
+	"adjarray/internal/render"
+	"adjarray/internal/semiring"
+	"adjarray/internal/value"
+)
+
+func main() {
+	pair := flag.String("pair", "", "report a single operator pair by name")
+	gadgets := flag.Bool("gadgets", false, "demonstrate gadget violations for non-compliant pairs")
+	custom := flag.String("custom", "", "JSON file defining a finite algebra (elements/zero/one/add/mul tables)")
+	flag.Parse()
+
+	switch {
+	case *custom != "":
+		reportCustom(*custom)
+	case *pair != "":
+		reportPair(*pair)
+	case *gadgets:
+		demonstrateGadgets()
+	default:
+		printClassification()
+	}
+}
+
+func reportCustom(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semiringlab:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	alg, name, err := semiring.ParseFiniteAlgebraJSON(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semiringlab:", err)
+		os.Exit(1)
+	}
+	ops := alg.Ops(name)
+	fmt.Printf("%s — user-defined finite algebra over %v\n\n", name, alg.Elements)
+	fmt.Print(semiring.Check(ops, alg.Sample(), nil))
+	if v := graph.FindViolation(ops, alg.Sample()); v != nil {
+		fmt.Println()
+		fmt.Printf("violation: %s\n", v)
+		fmt.Println("gadget edges:")
+		for _, e := range v.Graph.Edges() {
+			fmt.Printf("  %s: %s -> %s\n", e.Key, e.Src, e.Dst)
+		}
+		if v.Product != nil {
+			fmt.Println("Definition I.3 product EoutᵀEin:")
+			fmt.Print(assoc.Format(v.Product, func(s string) string { return s }))
+		}
+	}
+}
+
+func printClassification() {
+	fmt.Println("Theorem II.1 compliance of built-in algebras (Section III classification):")
+	fmt.Println()
+	rows := semiring.Classify()
+	var cells [][]string
+	for _, r := range rows {
+		mark := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "NO"
+		}
+		verdict := "adjacency guaranteed"
+		if !r.TheoremOK {
+			verdict = "NOT guaranteed"
+		}
+		cells = append(cells, []string{
+			r.Name, r.Domain, mark(r.ZeroSumFree), mark(r.NoZeroDivisors), mark(r.Annihilator), verdict,
+		})
+	}
+	fmt.Print(render.Columns(
+		[]string{"pair", "domain", "zero-sum-free", "no-zero-divisors", "annihilator", "verdict"},
+		cells,
+	))
+}
+
+func reportPair(name string) {
+	e, ok := semiring.Lookup(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "semiringlab: unknown pair %q; known pairs: %v\n", name, semiring.Names())
+		os.Exit(2)
+	}
+	fmt.Printf("%s — %s\n\n", e.Name, e.Description)
+	fmt.Print(semiring.Check(e.Ops, e.Sample, value.FormatFloat))
+	if v := graph.FindViolation(e.Ops, e.Sample); v != nil {
+		fmt.Println()
+		printViolation(v)
+	}
+}
+
+func demonstrateGadgets() {
+	for _, e := range semiring.Registry() {
+		v := graph.FindViolation(e.Ops, e.Sample)
+		if v == nil {
+			continue
+		}
+		fmt.Printf("== %s ==\n", e.Name)
+		printViolation(v)
+		fmt.Println()
+	}
+}
+
+func printViolation(v *graph.Violation[float64]) {
+	fmt.Printf("violation: %s\n", v)
+	fmt.Println("gadget edges:")
+	for _, e := range v.Graph.Edges() {
+		fmt.Printf("  %s: %s -> %s\n", e.Key, e.Src, e.Dst)
+	}
+	if v.Product != nil {
+		fmt.Println("Definition I.3 product EoutᵀEin:")
+		fmt.Print(assoc.Format(v.Product, value.FormatFloat))
+	}
+}

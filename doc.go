@@ -1,0 +1,55 @@
+// Package adjarray is a Go implementation of associative arrays and
+// semiring-parameterized graph construction, reproducing "Constructing
+// Adjacency Arrays from Incidence Arrays" (Jananthan, Dibert, Kepner;
+// IPDPS GABB 2017, arXiv:1702.07832).
+//
+// # Overview
+//
+// Graphs arrive from raw data as incidence arrays: Eout maps (edge,
+// source-vertex) pairs to non-zero values and Ein maps (edge,
+// target-vertex) pairs. Analysis usually wants the adjacency array
+// A(v, w), obtained by array multiplication
+//
+//	A = Eoutᵀ ⊕.⊗ Ein
+//
+// where ⊕ and ⊗ are a caller-chosen operator pair such as arithmetic
+// (+, ×), tropical (max, +), or bottleneck (max, min). The paper's
+// Theorem II.1 gives the exact algebraic conditions under which this
+// product is guaranteed to be an adjacency array for every graph:
+//
+//  1. ⊕ is zero-sum-free        (a ⊕ b = 0 ⇒ a = b = 0),
+//  2. ⊗ has no zero divisors     (a ⊗ b = 0 ⇒ a = 0 or b = 0),
+//  3. 0 annihilates under ⊗      (a ⊗ 0 = 0 ⊗ a = 0).
+//
+// Notably ⊕ and ⊗ need not be associative, commutative, or
+// distributive — the value set need not be a semiring at all.
+//
+// This package is the stable public facade. It re-exports the
+// building blocks:
+//
+//   - associative arrays over string keys with sparse storage, D4M-style
+//     sub-array selection, transpose, and ⊕.⊗ multiplication;
+//   - the operator-pair algebra with a property checker for the
+//     Theorem II.1 conditions;
+//   - the graph layer: incidence extraction, adjacency construction and
+//     validation, reverse graphs, and the constructive counterexample
+//     gadgets of Lemmas II.2–II.4;
+//   - the end-to-end Build pipeline with serial, parallel, streaming
+//     triple-store, and dense-verification backends.
+//
+// # Quick start
+//
+//	eout := adjarray.FromTriples([]adjarray.Triple[float64]{
+//		{Row: "edge1", Col: "alice", Val: 1},
+//		{Row: "edge2", Col: "alice", Val: 1},
+//	}, nil)
+//	ein := adjarray.FromTriples([]adjarray.Triple[float64]{
+//		{Row: "edge1", Col: "bob", Val: 1},
+//		{Row: "edge2", Col: "carol", Val: 1},
+//	}, nil)
+//	a, err := adjarray.Correlate(eout, ein, adjarray.PlusTimes(), adjarray.MulOptions{})
+//	// a("alice", "bob") = 1, a("alice", "carol") = 1
+//
+// See the examples directory for complete programs, including the
+// reproduction of the paper's music-metadata figures.
+package adjarray

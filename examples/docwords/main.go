@@ -1,0 +1,81 @@
+// Set-valued arrays — the paper's Section III escape hatch.
+//
+// The ∪.∩ operator pair over a power set is a non-trivial Boolean
+// algebra: disjoint non-empty sets are zero divisors, so Theorem II.1
+// does NOT guarantee adjacency arrays for arbitrary data, and
+// FindViolation produces the concrete self-loop gadget that fails.
+// Yet for *structured* incidence arrays — document×document arrays
+// whose entries are shared-word sets — the violating multiplication
+// can never occur, and EᵀE correctly lists the words shared by every
+// document pair.
+//
+// Run with: go run ./examples/docwords
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adjarray"
+)
+
+func main() {
+	// 1. A small corpus: documents with overlapping vocabularies.
+	docs := map[string]adjarray.Set{
+		"arrays":    adjarray.NewSet("array", "adjacency", "incidence", "graph", "semiring"),
+		"graphblas": adjarray.NewSet("graph", "semiring", "sparse", "matrix", "kernel"),
+		"hpc":       adjarray.NewSet("sparse", "matrix", "parallel", "kernel"),
+		"databases": adjarray.NewSet("database", "table", "array", "incidence"),
+	}
+	names := []string{"arrays", "databases", "graphblas", "hpc"}
+
+	var universe adjarray.Set
+	for _, w := range docs {
+		universe = universe.Union(w)
+	}
+	ops := adjarray.PowerSet(universe)
+
+	// 2. First, the warning: on unstructured data this algebra cannot
+	// guarantee adjacency arrays. The library can demonstrate why.
+	sample := []adjarray.Set{nil, adjarray.NewSet("array"), adjarray.NewSet("kernel"), universe}
+	if v := adjarray.FindViolation(ops, sample); v != nil {
+		fmt.Printf("general warning: %s\n\n", v)
+	}
+
+	// 3. Build the structured incidence array: E(i,j) = words shared by
+	// documents i and j (only non-empty intersections are stored).
+	b := adjarray.NewBuilder[adjarray.Set](nil)
+	for _, d1 := range names {
+		for _, d2 := range names {
+			shared := docs[d1].Intersect(docs[d2])
+			if !shared.IsEmpty() {
+				b.Set(d1, d2, shared)
+			}
+		}
+	}
+	e := b.Build()
+	fmt.Println("structured incidence array E (entries = shared word sets):")
+	fmt.Print(adjarray.Format(e, adjarray.Set.String))
+
+	// 4. Correlate with ⊕ = ∪, ⊗ = ∩. The structure guarantees no
+	// disjoint non-empty sets are ever intersected, so the product is
+	// exactly the shared-vocabulary array.
+	a, err := adjarray.Correlate(e, e, ops, adjarray.MulOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEᵀ ∪.∩ E (words shared by each document pair):")
+	fmt.Print(adjarray.Format(a, adjarray.Set.String))
+
+	// 5. Verify the claim entry by entry.
+	ok := true
+	a.Iterate(func(x, y string, v adjarray.Set) {
+		if !v.Equal(docs[x].Intersect(docs[y])) {
+			ok = false
+			fmt.Printf("MISMATCH at (%s,%s): %v\n", x, y, v)
+		}
+	})
+	if ok {
+		fmt.Println("\nevery entry equals the two documents' vocabulary intersection ✓")
+	}
+}

@@ -1,0 +1,130 @@
+package assoc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a dense relational view — a spreadsheet or database table —
+// the raw-data shape the paper's Figure 1 starts from. Cells[i][j]
+// holds the value(s) of field j for record i; multiple values are
+// separated by MultiSep and "" means absent.
+type Table struct {
+	Rows   []string   // record keys, e.g. track identifiers
+	Fields []string   // column names, e.g. Artist, Genre, Writer
+	Cells  [][]string // Cells[i][j]; len(Cells) == len(Rows), len(Cells[i]) == len(Fields)
+}
+
+// Validate checks the structural invariants.
+func (t Table) Validate() error {
+	if len(t.Cells) != len(t.Rows) {
+		return fmt.Errorf("assoc: table has %d rows but %d cell rows", len(t.Rows), len(t.Cells))
+	}
+	for i, row := range t.Cells {
+		if len(row) != len(t.Fields) {
+			return fmt.Errorf("assoc: table row %d has %d cells, want %d", i, len(row), len(t.Fields))
+		}
+	}
+	return nil
+}
+
+// ExplodeOptions configures the table → incidence-array transform.
+type ExplodeOptions struct {
+	// Sep joins field name and value into an exploded column key
+	// ("Genre" + Sep + "Rock" → "Genre|Rock"). Default "|".
+	Sep string
+	// MultiSep splits multi-valued cells. Default ";".
+	MultiSep string
+	// Value assigns the stored value for record row and exploded
+	// column field|v. Default: constant 1 ("the new value is usually 1
+	// to denote the existence of an entry", Figure 1).
+	Value func(row, field, v string) float64
+}
+
+func (o *ExplodeOptions) defaults() {
+	if o.Sep == "" {
+		o.Sep = "|"
+	}
+	if o.MultiSep == "" {
+		o.MultiSep = ";"
+	}
+	if o.Value == nil {
+		o.Value = func(string, string, string) float64 { return 1 }
+	}
+}
+
+// Explode converts a dense table into the D4M sparse incidence view of
+// Figure 1: every distinct (field, value) pair becomes its own column
+// keyed "field|value", and each record stores the Value (usually 1) in
+// the columns corresponding to its cell values.
+func Explode(t Table, opt ExplodeOptions) (*Array[float64], error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	opt.defaults()
+	b := NewBuilder[float64](nil)
+	for i, rk := range t.Rows {
+		for j, field := range t.Fields {
+			cell := t.Cells[i][j]
+			if cell == "" {
+				continue
+			}
+			for _, v := range strings.Split(cell, opt.MultiSep) {
+				v = strings.TrimSpace(v)
+				if v == "" {
+					continue
+				}
+				b.Set(rk, field+opt.Sep+v, opt.Value(rk, field, v))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Implode reverses Explode: it reconstructs a dense table from an
+// exploded incidence array, concatenating multiple values per field with
+// multiSep in column-key order. Columns without sep are rejected.
+func Implode(a *Array[float64], sep, multiSep string) (Table, error) {
+	if sep == "" {
+		sep = "|"
+	}
+	if multiSep == "" {
+		multiSep = ";"
+	}
+	fieldSet := map[string]bool{}
+	var fields []string
+	for i := 0; i < a.ColKeys().Len(); i++ {
+		ck := a.ColKeys().Key(i)
+		f, _, ok := strings.Cut(ck, sep)
+		if !ok {
+			return Table{}, fmt.Errorf("assoc: column key %q has no separator %q", ck, sep)
+		}
+		if !fieldSet[f] {
+			fieldSet[f] = true
+			fields = append(fields, f)
+		}
+	}
+	fieldIdx := make(map[string]int, len(fields))
+	for n, f := range fields {
+		fieldIdx[f] = n
+	}
+	rows := a.RowKeys().Keys()
+	rowIdx := make(map[string]int, len(rows))
+	for n, r := range rows {
+		rowIdx[r] = n
+	}
+	cells := make([][]string, len(rows))
+	for i := range cells {
+		cells[i] = make([]string, len(fields))
+	}
+	a.Iterate(func(row, col string, v float64) {
+		f, val, _ := strings.Cut(col, sep)
+		i, j := rowIdx[row], fieldIdx[f]
+		if cells[i][j] == "" {
+			cells[i][j] = val
+		} else {
+			cells[i][j] += multiSep + val
+		}
+	})
+	return Table{Rows: rows, Fields: fields, Cells: cells}, nil
+}

@@ -1,0 +1,19 @@
+package assoc
+
+import (
+	"adjarray/internal/render"
+)
+
+// Format renders the array as an aligned grid in the D4M figure style:
+// row keys down the left, column keys across the top, blank cells for
+// structural zeros. format renders a stored value to text.
+func Format[V any](a *Array[V], format func(V) string) string {
+	cell := func(i, j int) string {
+		v, ok := a.mat.At(i, j)
+		if !ok {
+			return ""
+		}
+		return format(v)
+	}
+	return render.Grid(a.rows.Keys(), a.cols.Keys(), cell)
+}

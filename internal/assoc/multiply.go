@@ -1,0 +1,163 @@
+package assoc
+
+import (
+	"fmt"
+
+	"adjarray/internal/keys"
+	"adjarray/internal/semiring"
+	"adjarray/internal/sparse"
+)
+
+// MulOptions tunes array multiplication.
+type MulOptions struct {
+	// Workers selects the parallel Gustavson kernel when > 1 (or < 0
+	// for GOMAXPROCS); 0 or 1 runs serially.
+	Workers int
+	// Grain is the parallel row-block size; <= 0 picks automatically.
+	Grain int
+	// Kernel optionally forces a specific SpGEMM variant for ablation:
+	// "gustavson" (default), "hash", "merge".
+	Kernel string
+}
+
+// Mul computes C = A ⊕.⊗ B (Definition I.3): C(k1,k2) = ⊕_k A(k1,k)
+// ⊗ B(k,k2), with the fold running in ascending key order over the
+// shared dimension.
+//
+// Key alignment follows D4M semantics: the shared dimension is the
+// intersection of A's column keys and B's row keys (keys present on only
+// one side contribute nothing — their partner entries are zero). The
+// result has A's row keys × B's column keys. Entries that fold to the
+// algebra's zero are pruned.
+func Mul[V any](a, b *Array[V], ops semiring.Ops[V], opt MulOptions) (*Array[V], error) {
+	am, bm := a.mat, b.mat
+	if !a.cols.Equal(b.rows) {
+		shared := a.cols.Intersect(b.rows)
+		_, aColIdx := a.cols.Select(keys.InSet{Set: shared})
+		_, bRowIdx := b.rows.Select(keys.InSet{Set: shared})
+		var err error
+		am, err = am.ExtractCols(aColIdx)
+		if err != nil {
+			return nil, fmt.Errorf("assoc: align lhs: %w", err)
+		}
+		bm, err = bm.ExtractRows(bRowIdx)
+		if err != nil {
+			return nil, fmt.Errorf("assoc: align rhs: %w", err)
+		}
+	}
+	var cm *sparse.CSR[V]
+	var err error
+	switch {
+	case opt.Workers > 1 || opt.Workers < 0:
+		cm, err = sparse.MulParallel(am, bm, ops, opt.Workers, opt.Grain)
+	case opt.Kernel == "hash":
+		cm, err = sparse.MulHash(am, bm, ops)
+	case opt.Kernel == "merge":
+		cm, err = sparse.MulMerge(am, bm, ops)
+	case opt.Kernel == "" || opt.Kernel == "gustavson":
+		cm, err = sparse.MulGustavson(am, bm, ops)
+	default:
+		return nil, fmt.Errorf("assoc: unknown kernel %q", opt.Kernel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Array[V]{rows: a.rows, cols: b.cols, mat: cm}, nil
+}
+
+// Correlate computes AᵀB — the paper's fundamental correlation operation
+// (Figures 3 and 5 captions: "this correlation is performed using the
+// transpose operation T and the array multiplication ⊕.⊗"). The result
+// relates A's column keys to B's column keys through the shared row keys.
+func Correlate[V any](a, b *Array[V], ops semiring.Ops[V], opt MulOptions) (*Array[V], error) {
+	return Mul(a.Transpose(), b, ops, opt)
+}
+
+// Add computes the element-wise A ⊕ B over the union of key sets:
+// entries present on one side only are kept unchanged (0 ⊕ v = v).
+func Add[V any](a, b *Array[V], ops semiring.Ops[V]) (*Array[V], error) {
+	ar, br, err := alignUnion(a, b)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sparse.EWiseAdd(ar.mat, br.mat, ops)
+	if err != nil {
+		return nil, err
+	}
+	return &Array[V]{rows: ar.rows, cols: ar.cols, mat: m}, nil
+}
+
+// ElementMul computes the element-wise A ⊗ B over the union key space
+// (the pattern intersection of entries; a missing operand annihilates).
+func ElementMul[V any](a, b *Array[V], ops semiring.Ops[V]) (*Array[V], error) {
+	ar, br, err := alignUnion(a, b)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sparse.EWiseMul(ar.mat, br.mat, ops)
+	if err != nil {
+		return nil, err
+	}
+	return &Array[V]{rows: ar.rows, cols: ar.cols, mat: m}, nil
+}
+
+// alignUnion reindexes both operands into the union key space, with a
+// fast path when they are already aligned.
+func alignUnion[V any](a, b *Array[V]) (*Array[V], *Array[V], error) {
+	if a.rows.Equal(b.rows) && a.cols.Equal(b.cols) {
+		return a, b, nil
+	}
+	rows := a.rows.Union(b.rows)
+	cols := a.cols.Union(b.cols)
+	ar, err := a.Reindex(rows, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	br, err := b.Reindex(rows, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ar, br, nil
+}
+
+// MulMasked computes (A ⊕.⊗ B) ∘ pattern(M) without materializing the
+// full product — GraphBLAS-style masked multiplication. The operands
+// must already be key-aligned: A's column keys equal B's row keys, and
+// M's key sets equal A's rows × B's columns.
+func MulMasked[V, M any](a, b *Array[V], mask *Array[M], ops semiring.Ops[V]) (*Array[V], error) {
+	if !a.cols.Equal(b.rows) {
+		return nil, fmt.Errorf("assoc: MulMasked requires aligned shared keys")
+	}
+	if !mask.rows.Equal(a.rows) || !mask.cols.Equal(b.cols) {
+		return nil, fmt.Errorf("assoc: MulMasked mask keys must be rows(A)×cols(B)")
+	}
+	m, err := sparse.MulMasked(a.mat, b.mat, mask.mat, ops)
+	if err != nil {
+		return nil, err
+	}
+	return &Array[V]{rows: a.rows, cols: b.cols, mat: m}, nil
+}
+
+// MulDense computes A ⊕.⊗ B by the literal Definition I.3, folding over
+// EVERY shared key including structural zeros (materialized as ops.Zero).
+// This is the mathematical ground truth used by the theorem machinery;
+// see sparse.MulDense for why it differs from Mul exactly when the
+// Theorem II.1 conditions fail. Key alignment: the shared dimension is
+// the union in this case — absent keys contribute explicit zeros, which
+// is precisely what the theorem's counterexamples need.
+func MulDense[V any](a, b *Array[V], ops semiring.Ops[V]) (*Array[V], error) {
+	shared := a.cols.Union(b.rows)
+	am, err := a.Reindex(a.rows, shared)
+	if err != nil {
+		return nil, err
+	}
+	bm, err := b.Reindex(shared, b.cols)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := sparse.MulDense(am.mat, bm.mat, ops)
+	if err != nil {
+		return nil, err
+	}
+	return &Array[V]{rows: a.rows, cols: b.cols, mat: cm}, nil
+}

@@ -1,0 +1,107 @@
+package assoc
+
+import (
+	"testing"
+
+	"adjarray/internal/semiring"
+	"adjarray/internal/value"
+)
+
+func TestCorrelateKeysTiny(t *testing.T) {
+	eout := FromTriples([]Triple[float64]{
+		{Row: "k1", Col: "a", Val: 1},
+		{Row: "k2", Col: "a", Val: 1},
+		{Row: "k3", Col: "b", Val: 1},
+	}, nil)
+	ein := FromTriples([]Triple[float64]{
+		{Row: "k1", Col: "x", Val: 1},
+		{Row: "k2", Col: "x", Val: 1},
+		{Row: "k3", Col: "x", Val: 1},
+	}, nil)
+	prov, err := CorrelateKeys(eout, ein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := prov.At("a", "x"); !ok || !v.Equal(value.NewSet("k1", "k2")) {
+		t.Errorf("prov(a,x) = %v, want {k1,k2}", v)
+	}
+	if v, ok := prov.At("b", "x"); !ok || !v.Equal(value.NewSet("k3")) {
+		t.Errorf("prov(b,x) = %v, want {k3}", v)
+	}
+}
+
+// The provenance pattern always equals the value-product pattern under
+// a compliant algebra — same edges, different bookkeeping.
+func TestCorrelateKeysPatternMatchesValueProduct(t *testing.T) {
+	eout := FromTriples([]Triple[float64]{
+		{Row: "k1", Col: "a", Val: 2}, {Row: "k2", Col: "a", Val: 3},
+		{Row: "k3", Col: "b", Val: 4}, {Row: "k4", Col: "c", Val: 5},
+	}, nil)
+	ein := FromTriples([]Triple[float64]{
+		{Row: "k1", Col: "x", Val: 1}, {Row: "k2", Col: "y", Val: 1},
+		{Row: "k3", Col: "x", Val: 1}, {Row: "k4", Col: "y", Val: 1},
+	}, nil)
+	vals, err := Correlate(eout, ein, semiring.PlusTimes(), MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := CorrelateKeys(eout, ein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SamePattern(vals, prov) {
+		t.Error("provenance pattern differs from value-product pattern")
+	}
+	// Under +.* with unit Ein the value equals the provenance set size.
+	vals.Iterate(func(r, c string, v float64) {
+		p, _ := prov.At(r, c)
+		// values here are 2..5 (weights), so compare counts instead:
+		if p.Len() == 0 {
+			t.Errorf("empty provenance at (%s,%s)", r, c)
+		}
+	})
+}
+
+func TestCorrelateKeysMisalignedKeySets(t *testing.T) {
+	// Shared keys {k2} only.
+	eout := FromTriples([]Triple[float64]{
+		{Row: "k1", Col: "a", Val: 1}, {Row: "k2", Col: "a", Val: 1},
+	}, nil)
+	ein := FromTriples([]Triple[float64]{
+		{Row: "k2", Col: "x", Val: 1}, {Row: "k9", Col: "x", Val: 1},
+	}, nil)
+	prov, err := CorrelateKeys(eout, ein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := prov.At("a", "x"); !ok || !v.Equal(value.NewSet("k2")) {
+		t.Errorf("prov(a,x) = %v, want {k2}", v)
+	}
+}
+
+func TestMulKeysCountsAgreeWithPlusTimes(t *testing.T) {
+	// With all-ones incidence arrays, +.* counts edges and provenance
+	// sets enumerate them: |prov| == count everywhere.
+	eout := FromTriples([]Triple[float64]{
+		{Row: "k1", Col: "a", Val: 1}, {Row: "k2", Col: "a", Val: 1},
+		{Row: "k3", Col: "a", Val: 1}, {Row: "k4", Col: "b", Val: 1},
+	}, nil)
+	ein := FromTriples([]Triple[float64]{
+		{Row: "k1", Col: "x", Val: 1}, {Row: "k2", Col: "x", Val: 1},
+		{Row: "k3", Col: "y", Val: 1}, {Row: "k4", Col: "y", Val: 1},
+	}, nil)
+	counts, err := Correlate(eout, ein, semiring.PlusTimes(), MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := CorrelateKeys(eout, ein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts.Iterate(func(r, c string, n float64) {
+		p, ok := prov.At(r, c)
+		if !ok || float64(p.Len()) != n {
+			t.Errorf("(%s,%s): count %v vs provenance %v", r, c, n, p)
+		}
+	})
+}

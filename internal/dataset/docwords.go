@@ -1,0 +1,79 @@
+package dataset
+
+import (
+	"adjarray/internal/assoc"
+	"adjarray/internal/value"
+)
+
+// Section III's structured set-valued workload: an undirected incidence
+// array E over documents whose entry E(i,j) is the set of words shared
+// by documents i and j. Multiplying EᵀE with ⊕ = ∪ and ⊗ = ∩ never
+// intersects disjoint non-empty sets — the structure guarantees every
+// exercised product of non-empty sets is non-empty, so the zero-product
+// condition can be dropped and the result still lists the words shared
+// by each document pair.
+
+// Doc is a named document with its word set.
+type Doc struct {
+	Name  string
+	Words value.Set
+}
+
+// DocCorpus returns a small deterministic corpus with overlapping
+// vocabulary across technical topics.
+func DocCorpus() []Doc {
+	return []Doc{
+		{"doc-arrays", value.NewSet("array", "adjacency", "incidence", "graph", "semiring")},
+		{"doc-graphblas", value.NewSet("graph", "semiring", "sparse", "matrix", "kernel")},
+		{"doc-hpc", value.NewSet("sparse", "matrix", "parallel", "kernel", "performance")},
+		{"doc-db", value.NewSet("database", "table", "array", "incidence", "schema")},
+		{"doc-ml", value.NewSet("model", "matrix", "training", "performance")},
+	}
+}
+
+// SharedWordIncidence builds the Section III incidence array: for every
+// ordered document pair (i, j) with a non-empty shared vocabulary,
+// E(i, j) = Words(i) ∩ Words(j). The construction makes the structural
+// guarantee hold: any word in E(i,j) and E(m,n) belongs to all four
+// documents' vocabularies and therefore to E(i,n) and E(m,j).
+func SharedWordIncidence(corpus []Doc) *assoc.Array[value.Set] {
+	b := assoc.NewBuilder[value.Set](nil)
+	for _, d1 := range corpus {
+		for _, d2 := range corpus {
+			shared := d1.Words.Intersect(d2.Words)
+			if !shared.IsEmpty() {
+				b.Set(d1.Name, d2.Name, shared)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// SharedWordsExpected computes the ground truth for the ∪.∩ correlation
+// EᵀE directly from the corpus: entry (x, y) is the union over k of
+// E(k,x) ∩ E(k,y) — which, by the structural property, is Words(x) ∩
+// Words(y) whenever some document k shares vocabulary with both.
+func SharedWordsExpected(corpus []Doc) *assoc.Array[value.Set] {
+	byName := make(map[string]value.Set, len(corpus))
+	for _, d := range corpus {
+		byName[d.Name] = d.Words
+	}
+	e := SharedWordIncidence(corpus)
+	b := assoc.NewBuilder[value.Set](nil)
+	for _, x := range corpus {
+		for _, y := range corpus {
+			var acc value.Set
+			for _, k := range corpus {
+				ekx, okX := e.At(k.Name, x.Name)
+				eky, okY := e.At(k.Name, y.Name)
+				if okX && okY {
+					acc = acc.Union(ekx.Intersect(eky))
+				}
+			}
+			if !acc.IsEmpty() {
+				b.Set(x.Name, y.Name, acc)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adjarray/internal/assoc"
+)
+
+// SyntheticTableSpec parameterizes a scaled-up music-style metadata
+// table for end-to-end pipeline experiments (explode → subref →
+// correlate at sizes the 22-track original cannot exercise).
+type SyntheticTableSpec struct {
+	// Records is the number of rows.
+	Records int
+	// Fields maps field name → cardinality of its value pool. Values
+	// are drawn Zipf-like: value v has weight 1/(v+1), mimicking the
+	// skewed field-value distributions of real metadata (a few big
+	// genres, many rare writers).
+	Fields map[string]int
+	// MultiValue maps field name → maximum number of values per cell
+	// (≥ 1); e.g. tracks have several writers. Cells draw 1..Max values.
+	MultiValue map[string]int
+	// AbsentProb is the probability a cell is empty.
+	AbsentProb float64
+}
+
+// SyntheticTable generates a deterministic (per rand source) dense
+// table from the spec, field columns in sorted spec order.
+func SyntheticTable(r *rand.Rand, spec SyntheticTableSpec) assoc.Table {
+	var fields []string
+	for f := range spec.Fields {
+		fields = append(fields, f)
+	}
+	sortStrings(fields)
+
+	t := assoc.Table{Fields: fields}
+	for i := 0; i < spec.Records; i++ {
+		t.Rows = append(t.Rows, fmt.Sprintf("rec%07d", i))
+		row := make([]string, len(fields))
+		for j, f := range fields {
+			if r.Float64() < spec.AbsentProb {
+				continue
+			}
+			card := spec.Fields[f]
+			maxVals := spec.MultiValue[f]
+			if maxVals < 1 {
+				maxVals = 1
+			}
+			n := 1 + r.Intn(maxVals)
+			cell := ""
+			seen := map[int]bool{}
+			for k := 0; k < n; k++ {
+				v := zipfDraw(r, card)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				if cell != "" {
+					cell += ";"
+				}
+				cell += fmt.Sprintf("%s%03d", f, v)
+			}
+			row[j] = cell
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	return t
+}
+
+// zipfDraw samples 0..card-1 with weight ∝ 1/(v+1) via inverse CDF on
+// the harmonic partial sums (cheap approximation adequate for workload
+// shaping).
+func zipfDraw(r *rand.Rand, card int) int {
+	if card <= 1 {
+		return 0
+	}
+	// H(card) ≈ ln(card) + γ; walk the CDF.
+	target := r.Float64() * harmonic(card)
+	acc := 0.0
+	for v := 0; v < card; v++ {
+		acc += 1 / float64(v+1)
+		if acc >= target {
+			return v
+		}
+	}
+	return card - 1
+}
+
+func harmonic(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+// DefaultSyntheticSpec mirrors the music table's shape at parameterized
+// scale: few genres, many writers, multi-valued writer cells.
+func DefaultSyntheticSpec(records int) SyntheticTableSpec {
+	return SyntheticTableSpec{
+		Records: records,
+		Fields: map[string]int{
+			"Artist": records/20 + 3,
+			"Genre":  8,
+			"Label":  24,
+			"Writer": records/10 + 8,
+			"Type":   4,
+		},
+		MultiValue: map[string]int{"Writer": 3, "Artist": 2},
+		AbsentProb: 0.05,
+	}
+}

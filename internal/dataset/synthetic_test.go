@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/semiring"
+)
+
+func TestSyntheticTableShape(t *testing.T) {
+	spec := DefaultSyntheticSpec(200)
+	tab := SyntheticTable(rand.New(rand.NewSource(1)), spec)
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 200 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if len(tab.Fields) != 5 {
+		t.Fatalf("fields = %v", tab.Fields)
+	}
+	// Fields must be sorted for deterministic explode output.
+	for i := 1; i < len(tab.Fields); i++ {
+		if tab.Fields[i-1] >= tab.Fields[i] {
+			t.Error("fields not sorted")
+		}
+	}
+}
+
+func TestSyntheticTableDeterministic(t *testing.T) {
+	spec := DefaultSyntheticSpec(50)
+	a := SyntheticTable(rand.New(rand.NewSource(7)), spec)
+	b := SyntheticTable(rand.New(rand.NewSource(7)), spec)
+	for i := range a.Cells {
+		for j := range a.Cells[i] {
+			if a.Cells[i][j] != b.Cells[i][j] {
+				t.Fatal("same seed produced different tables")
+			}
+		}
+	}
+}
+
+func TestSyntheticTableZipfSkew(t *testing.T) {
+	spec := SyntheticTableSpec{
+		Records:    2000,
+		Fields:     map[string]int{"Genre": 8},
+		AbsentProb: 0,
+	}
+	tab := SyntheticTable(rand.New(rand.NewSource(3)), spec)
+	counts := map[string]int{}
+	for _, row := range tab.Cells {
+		counts[row[0]]++
+	}
+	// Value 0 has weight 1/1, value 7 weight 1/8: expect heavy skew.
+	if counts["Genre000"] < 3*counts["Genre007"] {
+		t.Errorf("Zipf skew too flat: %v", counts)
+	}
+}
+
+func TestSyntheticPipelineEndToEnd(t *testing.T) {
+	tab := SyntheticTable(rand.New(rand.NewSource(5)), DefaultSyntheticSpec(300))
+	e, err := assoc.Explode(tab, assoc.ExplodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NNZ() == 0 {
+		t.Fatal("explode produced nothing")
+	}
+	// Every exploded column belongs to a declared field.
+	for i := 0; i < e.ColKeys().Len(); i++ {
+		ck := e.ColKeys().Key(i)
+		field, _, ok := strings.Cut(ck, "|")
+		if !ok {
+			t.Fatalf("column %q has no separator", ck)
+		}
+		found := false
+		for _, f := range tab.Fields {
+			if f == field {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("column %q references unknown field", ck)
+		}
+	}
+	// The Figure-3 style correlation at scale: genres × writers.
+	e1, err := e.SubRefExpr(":", "Genre|*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := e.SubRefExpr(":", "Writer|*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := assoc.Correlate(e1, e2, semiring.PlusTimes(), assoc.MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() == 0 {
+		t.Error("scaled correlation produced an empty array")
+	}
+	// Sanity: total co-occurrence mass equals Σ_rows |genres|·|writers|.
+	wantTotal := 0.0
+	for i := 0; i < e1.RowKeys().Len(); i++ {
+		rk := e1.RowKeys().Key(i)
+		wantTotal += float64(e1.RowDegrees()[rk] * e2.RowDegrees()[rk])
+	}
+	gotTotal, _ := assoc.ReduceAll(a, func(x, y float64) float64 { return x + y })
+	if gotTotal != wantTotal {
+		t.Errorf("correlation mass = %v, want %v", gotTotal, wantTotal)
+	}
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"adjarray/internal/assoc"
+)
+
+// The constructive gadgets of Lemmas II.2–II.4: tiny graphs witnessing
+// that each Theorem II.1 condition is *necessary*. Each constructor
+// returns the graph together with hand-built incidence arrays carrying
+// the specific values the lemma's proof uses (so they bypass the
+// Incidence weight plumbing, which would reject zero weights).
+
+// GadgetParallelEdges is the Lemma II.2 gadget: edge set {k1, k2}, both
+// from a to b, with Eout(k1,a) = v, Eout(k2,a) = w and Ein(ki,b) = one.
+// If v ⊕ w = 0 with v, w non-zero (a zero-sum), the product EoutᵀEin has
+// a structural zero at (a,b) despite the edges — not an adjacency array.
+func GadgetParallelEdges[V any](v, w, one V) (*Graph, *assoc.Array[V], *assoc.Array[V]) {
+	g := MustNew([]Edge{
+		{Key: "k1", Src: "a", Dst: "b"},
+		{Key: "k2", Src: "a", Dst: "b"},
+	})
+	eout := assoc.FromTriples([]assoc.Triple[V]{
+		{Row: "k1", Col: "a", Val: v},
+		{Row: "k2", Col: "a", Val: w},
+	}, nil)
+	ein := assoc.FromTriples([]assoc.Triple[V]{
+		{Row: "k1", Col: "b", Val: one},
+		{Row: "k2", Col: "b", Val: one},
+	}, nil)
+	return g, eout, ein
+}
+
+// GadgetSelfLoop is the Lemma II.3 gadget: a single self-loop k at
+// vertex a with Eout(k,a) = v and Ein(k,a) = w. If v ⊗ w = 0 with v, w
+// non-zero (zero divisors), the product has a structural zero at (a,a)
+// despite the loop.
+func GadgetSelfLoop[V any](v, w V) (*Graph, *assoc.Array[V], *assoc.Array[V]) {
+	g := MustNew([]Edge{{Key: "k", Src: "a", Dst: "a"}})
+	eout := assoc.FromTriples([]assoc.Triple[V]{{Row: "k", Col: "a", Val: v}}, nil)
+	ein := assoc.FromTriples([]assoc.Triple[V]{{Row: "k", Col: "a", Val: w}}, nil)
+	return g, eout, ein
+}
+
+// GadgetTwoSelfLoops is the Lemma II.4 gadget: self-loops k1 at a and
+// k2 at b, with Eout(k1,a) = Ein(k1,a) = v and Eout(k2,b) = Ein(k2,b)
+// = v, all other entries zero. The Definition I.3 product at the
+// off-diagonal pair (a,b) is (v ⊗ 0) ⊕ (0 ⊗ v); if 0 fails to
+// annihilate, that entry can be non-zero although no edge a → b exists.
+func GadgetTwoSelfLoops[V any](v V) (*Graph, *assoc.Array[V], *assoc.Array[V]) {
+	g := MustNew([]Edge{
+		{Key: "k1", Src: "a", Dst: "a"},
+		{Key: "k2", Src: "b", Dst: "b"},
+	})
+	eout := assoc.FromTriples([]assoc.Triple[V]{
+		{Row: "k1", Col: "a", Val: v},
+		{Row: "k2", Col: "b", Val: v},
+	}, nil)
+	ein := assoc.FromTriples([]assoc.Triple[V]{
+		{Row: "k1", Col: "a", Val: v},
+		{Row: "k2", Col: "b", Val: v},
+	}, nil)
+	return g, eout, ein
+}
+
+// GadgetThreeSelfLoops extends Lemma II.4 to the corner case
+// 0 ⊗ 0 ≠ 0 with v ⊗ 0 = 0 ⊗ v = 0 for non-zero v (possible in
+// non-semiring algebras, where ⊗ is an arbitrary table). Two self-loops
+// cannot expose it: the cross term (a,b) is (v⊗0) ⊕ (0⊗v) and never
+// multiplies two structural zeros. With three disjoint self-loops at a,
+// b, c, the Definition I.3 entry for (a,b) picks up the third edge's
+// term Eout(k3,a) ⊗ Ein(k3,b) = 0 ⊗ 0, which a broken 0⊗0 turns into a
+// spurious non-zero: a vertex pair with no edge but a non-zero entry.
+func GadgetThreeSelfLoops[V any](v V) (*Graph, *assoc.Array[V], *assoc.Array[V]) {
+	g := MustNew([]Edge{
+		{Key: "k1", Src: "a", Dst: "a"},
+		{Key: "k2", Src: "b", Dst: "b"},
+		{Key: "k3", Src: "c", Dst: "c"},
+	})
+	ts := []assoc.Triple[V]{
+		{Row: "k1", Col: "a", Val: v},
+		{Row: "k2", Col: "b", Val: v},
+		{Row: "k3", Col: "c", Val: v},
+	}
+	return g, assoc.FromTriples(ts, nil), assoc.FromTriples(ts, nil)
+}

@@ -1,0 +1,131 @@
+// Package graph implements the paper's graph layer: directed
+// multigraphs with totally-ordered vertex and edge keys, their source
+// and target incidence arrays (Definition I.4), adjacency-array
+// construction A = Eoutᵀ ⊕.⊗ Ein, adjacency validation (Definition I.5),
+// reverse graphs (Corollary III.1), and the constructive Theorem II.1
+// machinery: for every failed algebraic condition, the gadget graph from
+// Lemmas II.2–II.4 whose incidence product is provably not an adjacency
+// array.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"adjarray/internal/keys"
+)
+
+// Edge is one directed edge: Key identifies the edge (K is totally
+// ordered, so keys are strings), Src ∈ Kout, Dst ∈ Kin.
+type Edge struct {
+	Key, Src, Dst string
+}
+
+// Graph is a finite directed multigraph G = (Kout ∪ Kin, K). Multiple
+// edges between the same vertex pair and self-loops are allowed — the
+// paper's lemma gadgets depend on both. Immutable after construction.
+type Graph struct {
+	edges    []Edge
+	edgeKeys *keys.Set
+	outVerts *keys.Set // Kout: sources of edges
+	inVerts  *keys.Set // Kin: targets of edges
+	pairs    map[[2]string][]int
+}
+
+// New validates and builds a Graph. Edge keys must be unique and
+// non-empty; vertex keys must be non-empty.
+func New(edges []Edge) (*Graph, error) {
+	seen := make(map[string]bool, len(edges))
+	var eks, outs, ins []string
+	pairs := make(map[[2]string][]int, len(edges))
+	es := make([]Edge, len(edges))
+	copy(es, edges)
+	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+	for i, e := range es {
+		if e.Key == "" || e.Src == "" || e.Dst == "" {
+			return nil, fmt.Errorf("graph: edge %d has empty key/src/dst: %+v", i, e)
+		}
+		if seen[e.Key] {
+			return nil, fmt.Errorf("graph: duplicate edge key %q", e.Key)
+		}
+		seen[e.Key] = true
+		eks = append(eks, e.Key)
+		outs = append(outs, e.Src)
+		ins = append(ins, e.Dst)
+		p := [2]string{e.Src, e.Dst}
+		pairs[p] = append(pairs[p], i)
+	}
+	return &Graph{
+		edges:    es,
+		edgeKeys: keys.New(eks...),
+		outVerts: keys.New(outs...),
+		inVerts:  keys.New(ins...),
+		pairs:    pairs,
+	}, nil
+}
+
+// MustNew is New panicking on error, for statically valid literals.
+func MustNew(edges []Edge) *Graph {
+	g, err := New(edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Edges returns the edges in edge-key order (a copy).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// NumEdges returns |K|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// EdgeKeys returns the totally ordered edge key set K.
+func (g *Graph) EdgeKeys() *keys.Set { return g.edgeKeys }
+
+// OutVertices returns Kout, the set of vertices that source some edge.
+func (g *Graph) OutVertices() *keys.Set { return g.outVerts }
+
+// InVertices returns Kin, the set of vertices that receive some edge.
+func (g *Graph) InVertices() *keys.Set { return g.inVerts }
+
+// Vertices returns the full vertex set Kout ∪ Kin.
+func (g *Graph) Vertices() *keys.Set { return g.outVerts.Union(g.inVerts) }
+
+// HasEdge reports whether at least one edge runs src → dst.
+func (g *Graph) HasEdge(src, dst string) bool {
+	return len(g.pairs[[2]string{src, dst}]) > 0
+}
+
+// EdgesBetween returns the edges src → dst in edge-key order.
+func (g *Graph) EdgesBetween(src, dst string) []Edge {
+	idx := g.pairs[[2]string{src, dst}]
+	out := make([]Edge, len(idx))
+	for n, i := range idx {
+		out[n] = g.edges[i]
+	}
+	return out
+}
+
+// Reverse returns G with every edge direction flipped (same edge and
+// vertex keys) — the Ḡ of Corollary III.1.
+func (g *Graph) Reverse() *Graph {
+	rev := make([]Edge, len(g.edges))
+	for i, e := range g.edges {
+		rev[i] = Edge{Key: e.Key, Src: e.Dst, Dst: e.Src}
+	}
+	out, err := New(rev)
+	if err != nil {
+		panic(fmt.Sprintf("graph: reversing a valid graph failed: %v", err)) // unreachable
+	}
+	return out
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{%d edges, %d out-vertices, %d in-vertices}",
+		len(g.edges), g.outVerts.Len(), g.inVerts.Len())
+}

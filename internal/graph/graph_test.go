@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/semiring"
+)
+
+func triangle() *Graph {
+	return MustNew([]Edge{
+		{Key: "e1", Src: "a", Dst: "b"},
+		{Key: "e2", Src: "b", Dst: "c"},
+		{Key: "e3", Src: "c", Dst: "a"},
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Edge{{Key: "", Src: "a", Dst: "b"}}); err == nil {
+		t.Error("empty edge key accepted")
+	}
+	if _, err := New([]Edge{{Key: "k", Src: "", Dst: "b"}}); err == nil {
+		t.Error("empty src accepted")
+	}
+	if _, err := New([]Edge{{Key: "k", Src: "a", Dst: ""}}); err == nil {
+		t.Error("empty dst accepted")
+	}
+	if _, err := New([]Edge{
+		{Key: "k", Src: "a", Dst: "b"},
+		{Key: "k", Src: "c", Dst: "d"},
+	}); err == nil {
+		t.Error("duplicate edge key accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid input")
+		}
+	}()
+	MustNew([]Edge{{Key: "", Src: "", Dst: ""}})
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := triangle()
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Vertices().Len() != 3 || g.OutVertices().Len() != 3 || g.InVertices().Len() != 3 {
+		t.Error("vertex sets wrong")
+	}
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Error("HasEdge wrong")
+	}
+	if es := g.EdgesBetween("a", "b"); len(es) != 1 || es[0].Key != "e1" {
+		t.Errorf("EdgesBetween = %v", es)
+	}
+	if len(g.EdgesBetween("a", "c")) != 0 {
+		t.Error("phantom edges")
+	}
+	if !strings.Contains(g.String(), "3 edges") {
+		t.Errorf("String = %q", g.String())
+	}
+	// Edges are returned (and processed) in edge-key order regardless of
+	// construction order.
+	g2 := MustNew([]Edge{
+		{Key: "z", Src: "a", Dst: "b"},
+		{Key: "a", Src: "c", Dst: "d"},
+	})
+	if es := g2.Edges(); es[0].Key != "a" || es[1].Key != "z" {
+		t.Errorf("edges not in key order: %v", es)
+	}
+}
+
+func TestPartialVertexSets(t *testing.T) {
+	// b is a sink: appears in Kin only. a is a source: Kout only.
+	g := MustNew([]Edge{{Key: "k", Src: "a", Dst: "b"}})
+	if g.OutVertices().Len() != 1 || g.OutVertices().Key(0) != "a" {
+		t.Error("Kout wrong")
+	}
+	if g.InVertices().Len() != 1 || g.InVertices().Key(0) != "b" {
+		t.Error("Kin wrong")
+	}
+	if g.Vertices().Len() != 2 {
+		t.Error("Kout ∪ Kin wrong")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := triangle()
+	r := g.Reverse()
+	if !r.HasEdge("b", "a") || r.HasEdge("a", "b") {
+		t.Error("Reverse did not flip edges")
+	}
+	if !r.Reverse().EdgeKeys().Equal(g.EdgeKeys()) {
+		t.Error("double reverse changed edge keys")
+	}
+	if !r.OutVertices().Equal(g.InVertices()) || !r.InVertices().Equal(g.OutVertices()) {
+		t.Error("Reverse did not swap Kout/Kin")
+	}
+}
+
+func TestIncidenceDefinition(t *testing.T) {
+	g := triangle()
+	ops := semiring.PlusTimes()
+	eout, ein, err := Incidence(g, ops, Weights[float64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Definition I.4: Eout(k,a) ≠ 0 iff edge k leaves a.
+	for _, e := range g.Edges() {
+		if v, ok := eout.At(e.Key, e.Src); !ok || v != 1 {
+			t.Errorf("Eout(%s,%s) = %v,%v", e.Key, e.Src, v, ok)
+		}
+		if v, ok := ein.At(e.Key, e.Dst); !ok || v != 1 {
+			t.Errorf("Ein(%s,%s) = %v,%v", e.Key, e.Dst, v, ok)
+		}
+	}
+	if eout.NNZ() != 3 || ein.NNZ() != 3 {
+		t.Error("incidence arrays must have exactly one entry per edge")
+	}
+	if !eout.RowKeys().Equal(g.EdgeKeys()) {
+		t.Error("Eout rows must be K")
+	}
+}
+
+func TestIncidenceCustomWeightsAndZeroRejection(t *testing.T) {
+	g := triangle()
+	ops := semiring.PlusTimes()
+	eout, _, err := Incidence(g, ops, Weights[float64]{
+		Out: func(e Edge) float64 { return 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := eout.At("e1", "a"); v != 2 {
+		t.Errorf("custom out weight = %v", v)
+	}
+	_, _, err = Incidence(g, ops, Weights[float64]{
+		Out: func(e Edge) float64 { return 0 },
+	})
+	if err == nil {
+		t.Error("zero out-weight accepted")
+	}
+	_, _, err = Incidence(g, ops, Weights[float64]{
+		In: func(e Edge) float64 { return 0 },
+	})
+	if err == nil {
+		t.Error("zero in-weight accepted")
+	}
+}
+
+func TestGraphFromIncidenceRoundTrip(t *testing.T) {
+	g := triangle()
+	eout, ein, err := Incidence(g, semiring.PlusTimes(), Weights[float64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := GraphFromIncidence(eout, ein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 3 || !back.HasEdge("a", "b") || !back.HasEdge("c", "a") {
+		t.Error("round trip lost edges")
+	}
+}
+
+func TestGraphFromIncidenceRejectsMalformed(t *testing.T) {
+	eout := assoc.FromTriples([]assoc.Triple[float64]{{Row: "k1", Col: "a", Val: 1}}, nil)
+	einWrongKeys := assoc.FromTriples([]assoc.Triple[float64]{{Row: "k2", Col: "b", Val: 1}}, nil)
+	if _, err := GraphFromIncidence(eout, einWrongKeys); err == nil {
+		t.Error("mismatched edge key sets accepted")
+	}
+	einDouble := assoc.FromTriples([]assoc.Triple[float64]{
+		{Row: "k1", Col: "b", Val: 1}, {Row: "k1", Col: "c", Val: 1},
+	}, nil)
+	if _, err := GraphFromIncidence(eout, einDouble); err == nil {
+		t.Error("row with two targets accepted")
+	}
+	// Ein lacking a target for k1 entirely: build via explicit key sets.
+	einEmptyRow := eout.SubRef(nil, nil).Prune(func(float64) bool { return true })
+	if _, err := GraphFromIncidence(eout, einEmptyRow); err == nil {
+		t.Error("row with no target accepted")
+	}
+}
+
+func TestAdjacencyOfTriangle(t *testing.T) {
+	g := triangle()
+	a, eout, ein, err := BuildAdjacency(g, semiring.PlusTimes(), Weights[float64]{}, assoc.MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eout.NNZ() != 3 || ein.NNZ() != 3 {
+		t.Error("incidence arrays wrong")
+	}
+	if err := IsAdjacencyOf(a, g, func(v float64) bool { return v == 0 }); err != nil {
+		t.Errorf("triangle adjacency invalid: %v", err)
+	}
+	if v, _ := a.At("a", "b"); v != 1 {
+		t.Errorf("A(a,b) = %v", v)
+	}
+}
+
+func TestAdjacencyMultiEdgeAggregation(t *testing.T) {
+	g := MustNew([]Edge{
+		{Key: "k1", Src: "a", Dst: "b"},
+		{Key: "k2", Src: "a", Dst: "b"},
+		{Key: "k3", Src: "a", Dst: "b"},
+	})
+	a, _, _, err := BuildAdjacency(g, semiring.PlusTimes(), Weights[float64]{}, assoc.MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.At("a", "b"); v != 3 {
+		t.Errorf("+.* should aggregate 3 parallel edges, got %v", v)
+	}
+	// With default weights the entries are the algebra's One (+Inf for
+	// max.min); the paper's figures store the numeric weight 1 instead.
+	one := func(Edge) float64 { return 1 }
+	a2, _, _, err := BuildAdjacency(g, semiring.MaxMin(), Weights[float64]{Out: one, In: one}, assoc.MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a2.At("a", "b"); v != 1 {
+		t.Errorf("max.min should select, got %v", v)
+	}
+}
+
+func TestIsAdjacencyOfDetectsViolations(t *testing.T) {
+	g := triangle()
+	isZero := func(v float64) bool { return v == 0 }
+
+	// Wrong key sets.
+	wrongKeys := assoc.FromTriples([]assoc.Triple[float64]{{Row: "x", Col: "b", Val: 1}}, nil)
+	if err := IsAdjacencyOf(wrongKeys, g, isZero); err == nil {
+		t.Error("wrong key sets accepted")
+	}
+
+	// Spurious entry.
+	spurious := assoc.FromTriples([]assoc.Triple[float64]{
+		{Row: "a", Col: "b", Val: 1}, {Row: "b", Col: "c", Val: 1},
+		{Row: "c", Col: "a", Val: 1}, {Row: "a", Col: "c", Val: 5},
+	}, nil)
+	if err := IsAdjacencyOf(spurious, g, isZero); err == nil || !strings.Contains(err.Error(), "non-zero but no edge") {
+		t.Errorf("spurious entry not detected: %v", err)
+	}
+
+	// Missing entry.
+	missing := assoc.FromTriples([]assoc.Triple[float64]{
+		{Row: "a", Col: "b", Val: 1}, {Row: "b", Col: "c", Val: 1},
+	}, nil)
+	// Reindex onto the full vertex sets so only the entry is missing.
+	missingFull, err := missing.Reindex(g.OutVertices(), g.InVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := IsAdjacencyOf(missingFull, g, isZero); err == nil || !strings.Contains(err.Error(), "is zero") {
+		t.Errorf("missing entry not detected: %v", err)
+	}
+
+	// Explicit zero entry counts as absent.
+	withExplicitZero := spurious.Map(func(r, c string, v float64) float64 {
+		if r == "a" && c == "c" {
+			return 0
+		}
+		return v
+	})
+	if err := IsAdjacencyOf(withExplicitZero, g, isZero); err != nil {
+		t.Errorf("explicit zero should count as absent: %v", err)
+	}
+}

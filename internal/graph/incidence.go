@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"fmt"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/semiring"
+)
+
+// Weights assigns the incidence-array entries for an edge. Definition
+// I.4 only requires the entries to be non-zero; the values themselves
+// are data (edge weights, timestamps, labels…).
+type Weights[V any] struct {
+	// Out gives Eout(k, src); nil means the algebra's One.
+	Out func(e Edge) V
+	// In gives Ein(k, dst); nil means the algebra's One.
+	In func(e Edge) V
+}
+
+// Incidence builds the source and target incidence arrays of g
+// (Definition I.4): Eout : K×Kout and Ein : K×Kin, with entry values
+// chosen by w (both default to ops.One — the unweighted case of
+// Figure 1 where "the new value is usually 1").
+//
+// Incidence returns an error if any weight equals ops.Zero: a zero
+// entry would contradict Definition I.4's "non-zero iff incident".
+func Incidence[V any](g *Graph, ops semiring.Ops[V], w Weights[V]) (eout, ein *assoc.Array[V], err error) {
+	outW := w.Out
+	if outW == nil {
+		outW = func(Edge) V { return ops.One }
+	}
+	inW := w.In
+	if inW == nil {
+		inW = func(Edge) V { return ops.One }
+	}
+	outT := make([]assoc.Triple[V], 0, g.NumEdges())
+	inT := make([]assoc.Triple[V], 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		ov, iv := outW(e), inW(e)
+		if ops.IsZero(ov) {
+			return nil, nil, fmt.Errorf("graph: out-weight of edge %q is the zero element", e.Key)
+		}
+		if ops.IsZero(iv) {
+			return nil, nil, fmt.Errorf("graph: in-weight of edge %q is the zero element", e.Key)
+		}
+		outT = append(outT, assoc.Triple[V]{Row: e.Key, Col: e.Src, Val: ov})
+		inT = append(inT, assoc.Triple[V]{Row: e.Key, Col: e.Dst, Val: iv})
+	}
+	return assoc.FromTriples(outT, nil), assoc.FromTriples(inT, nil), nil
+}
+
+// GraphFromIncidence reconstructs the multigraph encoded by a pair of
+// incidence arrays: each shared row key k with a non-zero entry in
+// column a of eout and column b of ein contributes the edge k : a → b.
+// Rows with no source or no target entry are rejected (they encode no
+// edge), as are rows with multiple sources or targets (not a simple
+// directed edge).
+func GraphFromIncidence[V any](eout, ein *assoc.Array[V]) (*Graph, error) {
+	if !eout.RowKeys().Equal(ein.RowKeys()) {
+		return nil, fmt.Errorf("graph: incidence arrays disagree on edge keys")
+	}
+	src := make(map[string]string)
+	dst := make(map[string]string)
+	var dup string
+	eout.Iterate(func(k, a string, _ V) {
+		if _, ok := src[k]; ok {
+			dup = "source of " + k
+		}
+		src[k] = a
+	})
+	ein.Iterate(func(k, b string, _ V) {
+		if _, ok := dst[k]; ok {
+			dup = "target of " + k
+		}
+		dst[k] = b
+	})
+	if dup != "" {
+		return nil, fmt.Errorf("graph: incidence row has multiple entries: %s", dup)
+	}
+	edges := make([]Edge, 0, eout.RowKeys().Len())
+	for i := 0; i < eout.RowKeys().Len(); i++ {
+		k := eout.RowKeys().Key(i)
+		s, okS := src[k]
+		d, okD := dst[k]
+		if !okS || !okD {
+			return nil, fmt.Errorf("graph: edge %q lacks a source or target entry", k)
+		}
+		edges = append(edges, Edge{Key: k, Src: s, Dst: d})
+	}
+	return New(edges)
+}
+
+// Adjacency constructs A = Eoutᵀ ⊕.⊗ Ein with the production sparse
+// kernel (Theorem II.1's premise guarantees this equals the dense
+// Definition I.3 product for compliant algebras). opt tunes the kernel.
+func Adjacency[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V], opt assoc.MulOptions) (*assoc.Array[V], error) {
+	return assoc.Correlate(eout, ein, ops, opt)
+}
+
+// AdjacencyDense constructs A by the literal Definition I.3 fold over
+// every edge key, materializing structural zeros. It is the ground
+// truth for the theorem experiments: for non-compliant algebras its
+// result may differ from Adjacency — and from being an adjacency array.
+func AdjacencyDense[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V]) (*assoc.Array[V], error) {
+	return assoc.MulDense(eout.Transpose(), ein, ops)
+}
+
+// ReverseAdjacency constructs Einᵀ ⊕.⊗ Eout, which by Corollary III.1
+// is an adjacency array of the reverse graph whenever the Theorem II.1
+// conditions hold.
+func ReverseAdjacency[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V], opt assoc.MulOptions) (*assoc.Array[V], error) {
+	return assoc.Correlate(ein, eout, ops, opt)
+}
+
+// BuildAdjacency is the one-call convenience: incidence extraction
+// followed by sparse construction, returning (A, Eout, Ein).
+func BuildAdjacency[V any](g *Graph, ops semiring.Ops[V], w Weights[V], opt assoc.MulOptions) (a, eout, ein *assoc.Array[V], err error) {
+	eout, ein, err = Incidence(g, ops, w)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	a, err = Adjacency(eout, ein, ops, opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return a, eout, ein, nil
+}
+
+// IsAdjacencyOf checks Definition I.5: a is an adjacency array of g iff
+// a's row keys are Kout, its column keys are Kin, and a(x,y) is
+// non-zero exactly when g has an edge x → y. Stored entries equal to
+// the zero element count as absent (isZero decides). A nil return means
+// a is a valid adjacency array; otherwise the error describes the first
+// violation.
+func IsAdjacencyOf[V any](a *assoc.Array[V], g *Graph, isZero func(V) bool) error {
+	if !a.RowKeys().Equal(g.OutVertices()) {
+		return fmt.Errorf("graph: adjacency row keys %v differ from Kout %v", a.RowKeys(), g.OutVertices())
+	}
+	if !a.ColKeys().Equal(g.InVertices()) {
+		return fmt.Errorf("graph: adjacency col keys %v differ from Kin %v", a.ColKeys(), g.InVertices())
+	}
+	var violation error
+	a.Iterate(func(x, y string, v V) {
+		if violation != nil {
+			return
+		}
+		if !isZero(v) && !g.HasEdge(x, y) {
+			violation = fmt.Errorf("graph: A(%s,%s) non-zero but no edge %s→%s exists", x, y, x, y)
+		}
+	})
+	if violation != nil {
+		return violation
+	}
+	for _, e := range g.Edges() {
+		v, ok := a.At(e.Src, e.Dst)
+		if !ok || isZero(v) {
+			return fmt.Errorf("graph: edge %s→%s (key %s) exists but A(%s,%s) is zero",
+				e.Src, e.Dst, e.Key, e.Src, e.Dst)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package keys implements the finite totally-ordered key sets of the
+// paper's Definition I.1 (associative arrays are maps K1×K2 → V with K1,
+// K2 finite and totally ordered), together with D4M-style sub-key
+// selection ("Matlab-style notation to denote ranges of keys", Figure 1).
+//
+// Keys are strings under lexicographic order; a Set stores them sorted
+// and deduplicated with an O(1) reverse index. Sets are immutable after
+// construction and safe for concurrent readers.
+package keys
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a finite totally-ordered set of string keys.
+type Set struct {
+	keys  []string
+	index map[string]int
+}
+
+// New builds a Set from arbitrary keys, sorting and deduplicating.
+func New(ks ...string) *Set {
+	sorted := make([]string, len(ks))
+	copy(sorted, ks)
+	sort.Strings(sorted)
+	out := sorted[:0]
+	for i, k := range sorted {
+		if i == 0 || k != sorted[i-1] {
+			out = append(out, k)
+		}
+	}
+	return fromSortedUnique(out)
+}
+
+// FromSorted wraps an already-sorted, duplicate-free slice, validating
+// the invariant. The slice is retained (not copied): callers must not
+// mutate it afterwards.
+func FromSorted(ks []string) (*Set, error) {
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			return nil, fmt.Errorf("keys: slice not strictly sorted at %d: %q >= %q", i, ks[i-1], ks[i])
+		}
+	}
+	return fromSortedUnique(ks), nil
+}
+
+func fromSortedUnique(ks []string) *Set {
+	idx := make(map[string]int, len(ks))
+	for i, k := range ks {
+		idx[k] = i
+	}
+	return &Set{keys: ks, index: idx}
+}
+
+// Len returns the number of keys.
+func (s *Set) Len() int { return len(s.keys) }
+
+// Key returns the i-th key in order.
+func (s *Set) Key(i int) string { return s.keys[i] }
+
+// Keys returns a copy of the ordered key slice.
+func (s *Set) Keys() []string {
+	out := make([]string, len(s.keys))
+	copy(out, s.keys)
+	return out
+}
+
+// Index returns the position of k and whether it is present.
+func (s *Set) Index(k string) (int, bool) {
+	i, ok := s.index[k]
+	return i, ok
+}
+
+// Contains reports membership.
+func (s *Set) Contains(k string) bool {
+	_, ok := s.index[k]
+	return ok
+}
+
+// Equal reports whether two sets hold the same keys in the same order
+// (which, both being sorted, is plain set equality).
+func (s *Set) Equal(t *Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for i, k := range s.keys {
+		if t.keys[i] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the ordered union of two sets.
+func (s *Set) Union(t *Set) *Set {
+	out := make([]string, 0, len(s.keys)+len(t.keys))
+	i, j := 0, 0
+	for i < len(s.keys) && j < len(t.keys) {
+		switch {
+		case s.keys[i] < t.keys[j]:
+			out = append(out, s.keys[i])
+			i++
+		case s.keys[i] > t.keys[j]:
+			out = append(out, t.keys[j])
+			j++
+		default:
+			out = append(out, s.keys[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.keys[i:]...)
+	out = append(out, t.keys[j:]...)
+	return fromSortedUnique(out)
+}
+
+// Intersect returns the ordered intersection of two sets.
+func (s *Set) Intersect(t *Set) *Set {
+	small, large := s, t
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	var out []string
+	for _, k := range small.keys {
+		if large.Contains(k) {
+			out = append(out, k)
+		}
+	}
+	return fromSortedUnique(out)
+}
+
+// Select applies a Selector, returning the selected sub-Set and, for
+// each selected key, its index in the original Set. The returned indices
+// are strictly increasing.
+func (s *Set) Select(sel Selector) (*Set, []int) {
+	if sel == nil {
+		sel = All{}
+	}
+	lo, hi, prefixed := sel.bounds()
+	var picked []string
+	var origin []int
+	start := 0
+	if prefixed {
+		start = sort.SearchStrings(s.keys, lo)
+	}
+	for i := start; i < len(s.keys); i++ {
+		k := s.keys[i]
+		if prefixed && hi != "" && k >= hi {
+			break
+		}
+		if sel.Match(k) {
+			picked = append(picked, k)
+			origin = append(origin, i)
+		}
+	}
+	return fromSortedUnique(picked), origin
+}
+
+// String renders up to eight keys for debugging.
+func (s *Set) String() string {
+	const maxShow = 8
+	shown := s.keys
+	suffix := ""
+	if len(shown) > maxShow {
+		shown = shown[:maxShow]
+		suffix = fmt.Sprintf(",…(%d)", s.Len())
+	}
+	return "[" + strings.Join(shown, ",") + suffix + "]"
+}

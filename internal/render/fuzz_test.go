@@ -1,0 +1,67 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTriples hardens the TSV triple parser: arbitrary input must
+// never panic, and accepted records must round-trip through
+// WriteTriples when they are writable (no tabs/newlines inside fields,
+// which ReadTriples by construction guarantees).
+func FuzzReadTriples(f *testing.F) {
+	for _, seed := range []string{
+		"r\tc\tv\n", "# comment\n\nr\tc\tv\n", "a\tb\n", "a\tb\tc\td\n",
+		"", "\t\t\n", "r\tc\tv", strings.Repeat("x\ty\tz\n", 50),
+		"\xff\xfe\t\x00\tv\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ReadTriples(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTriples(&buf, recs); err != nil {
+			t.Fatalf("accepted records failed to serialize: %v", err)
+		}
+		back, err := ReadTriples(&buf)
+		if err != nil {
+			t.Fatalf("serialized records failed to parse: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(back))
+		}
+		for i := range recs {
+			if recs[i] != back[i] {
+				t.Fatalf("record %d changed: %+v -> %+v", i, recs[i], back[i])
+			}
+		}
+	})
+}
+
+// FuzzReadTable hardens the dense-table parser the same way.
+func FuzzReadTable(f *testing.F) {
+	for _, seed := range []string{
+		"k\tA\tB\nr\tx\ty\n", "k\tA\nr\n", "k\tA\nr\tx\ty\n", "", "#\n",
+		"k\tA\nr1\tv\nr2\t\n", "\tA\n\t\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		td, err := ReadTable(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(td.Rows) != len(td.Cells) {
+			t.Fatal("rows/cells length mismatch")
+		}
+		for i, row := range td.Cells {
+			if len(row) != len(td.Fields) {
+				t.Fatalf("row %d has %d cells, want %d", i, len(row), len(td.Fields))
+			}
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGridAlignment(t *testing.T) {
+	out := Grid(
+		[]string{"row1", "r2"},
+		[]string{"long-column", "c"},
+		func(i, j int) string {
+			if i == 0 && j == 0 {
+				return "7"
+			}
+			if i == 1 && j == 1 {
+				return "13"
+			}
+			return ""
+		},
+	)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// All lines are equally wide (fixed column layout).
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Errorf("ragged grid:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "long-column") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(lines[1], "7") || strings.Contains(lines[1], "13") {
+		t.Error("cell placement wrong")
+	}
+	// Blank cells render as spaces, not as "0".
+	if strings.Contains(lines[2], "0") {
+		t.Error("structural zero rendered")
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	out := Grid(nil, nil, func(i, j int) string { return "x" })
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("even the empty grid ends with a newline header line")
+	}
+}
+
+func TestGridCellWiderThanHeader(t *testing.T) {
+	out := Grid([]string{"r"}, []string{"c"}, func(i, j int) string { return "wide-value" })
+	if !strings.Contains(out, "wide-value") {
+		t.Error("wide cell truncated")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("column did not grow to fit the cell")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	out := Columns(
+		[]string{"name", "value"},
+		[][]string{{"alpha", "1"}, {"b", "222"}},
+	)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "-----") {
+		t.Errorf("separator line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "alpha") {
+		t.Errorf("row line = %q", lines[2])
+	}
+}
+
+func TestColumnsRaggedRow(t *testing.T) {
+	// Extra cells beyond the header width are appended rather than
+	// dropped, and short rows are fine.
+	out := Columns([]string{"a"}, [][]string{{"x", "extra"}, {"y"}})
+	if !strings.Contains(out, "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestWriteReadTriplesRoundTrip(t *testing.T) {
+	recs := []TripleRecord{
+		{Row: "r1", Col: "c1", Val: "1"},
+		{Row: "r 2", Col: "c|2", Val: "-Inf"},
+	}
+	var buf bytes.Buffer
+	if err := WriteTriples(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip %d records", len(back))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestWriteTriplesRejectsTabs(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTriples(&buf, []TripleRecord{{Row: "a\tb", Col: "c", Val: "1"}})
+	if err == nil {
+		t.Error("tab in field accepted")
+	}
+	err = WriteTriples(&buf, []TripleRecord{{Row: "a", Col: "c", Val: "1\n2"}})
+	if err == nil {
+		t.Error("newline in field accepted")
+	}
+}
+
+func TestReadTriplesSkipsCommentsAndBlanks(t *testing.T) {
+	in := strings.NewReader("# comment\n\nr\tc\tv\n")
+	recs, err := ReadTriples(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Row != "r" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestReadTriplesRejectsMalformed(t *testing.T) {
+	if _, err := ReadTriples(strings.NewReader("only\ttwo\n")); err == nil {
+		t.Error("two-field line accepted")
+	}
+	if _, err := ReadTriples(strings.NewReader("a\tb\tc\td\n")); err == nil {
+		t.Error("four-field line accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Package render produces the aligned text views of associative arrays
+// used by the figure-regeneration tools, echoing the D4M sparse display
+// style of the paper's Figures 1–5 (row keys down the left, column keys
+// across the top, blanks for structural zeros). It also provides TSV
+// triple I/O for the CLIs.
+package render
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grid renders a labelled matrix. cell(i, j) returns the text for the
+// (i,j) entry, "" for a structural zero. Column widths auto-size to the
+// wider of the header and the longest cell.
+func Grid(rowKeys, colKeys []string, cell func(i, j int) string) string {
+	rowW := 0
+	for _, k := range rowKeys {
+		if len(k) > rowW {
+			rowW = len(k)
+		}
+	}
+	colW := make([]int, len(colKeys))
+	cells := make([][]string, len(rowKeys))
+	for j, k := range colKeys {
+		colW[j] = len(k)
+	}
+	for i := range rowKeys {
+		cells[i] = make([]string, len(colKeys))
+		for j := range colKeys {
+			s := cell(i, j)
+			cells[i][j] = s
+			if len(s) > colW[j] {
+				colW[j] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	// Header.
+	fmt.Fprintf(&b, "%-*s", rowW, "")
+	for j, k := range colKeys {
+		fmt.Fprintf(&b, " %*s", colW[j], k)
+	}
+	b.WriteByte('\n')
+	// Body.
+	for i, rk := range rowKeys {
+		fmt.Fprintf(&b, "%-*s", rowW, rk)
+		for j := range colKeys {
+			fmt.Fprintf(&b, " %*s", colW[j], cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Columns renders a simple two-or-more column report with left-aligned
+// cells, used by the semiring classification table.
+func Columns(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for j, h := range header {
+		width[j] = len(h)
+	}
+	for _, r := range rows {
+		for j, c := range r {
+			if j < len(width) && len(c) > width[j] {
+				width[j] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for j, c := range cells {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			if j < len(width) {
+				fmt.Fprintf(&b, "%-*s", width[j], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for j := range header {
+		sep[j] = strings.Repeat("-", width[j])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

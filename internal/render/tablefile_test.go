@@ -1,0 +1,79 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadTable(t *testing.T) {
+	in := strings.NewReader(`# music sample
+track	Genre	Writer
+t1	Rock	Ann;Bob
+t2	Pop
+`)
+	td, err := ReadTable(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.RowHeader != "track" || len(td.Fields) != 2 || len(td.Rows) != 2 {
+		t.Fatalf("table = %+v", td)
+	}
+	if td.Cells[0][1] != "Ann;Bob" {
+		t.Errorf("multi-value cell = %q", td.Cells[0][1])
+	}
+	if td.Cells[1][1] != "" {
+		t.Errorf("empty cell = %q", td.Cells[1][1])
+	}
+}
+
+func TestReadTableErrors(t *testing.T) {
+	if _, err := ReadTable(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadTable(strings.NewReader("onlykey\n")); err == nil {
+		t.Error("fieldless header accepted")
+	}
+	if _, err := ReadTable(strings.NewReader("k\tF\nrow\ta\tb\n")); err == nil {
+		t.Error("wide row accepted")
+	}
+}
+
+func TestWriteReadTableRoundTrip(t *testing.T) {
+	td := TableData{
+		RowHeader: "id",
+		Fields:    []string{"A", "B"},
+		Rows:      []string{"r1", "r2"},
+		Cells:     [][]string{{"x", "y;z"}, {"", "w"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, td); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RowHeader != td.RowHeader || len(back.Rows) != 2 || back.Cells[0][1] != "y;z" || back.Cells[1][0] != "" {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestWriteTableValidates(t *testing.T) {
+	var buf bytes.Buffer
+	bad := TableData{Fields: []string{"A"}, Rows: []string{"r"}, Cells: [][]string{{"a", "b"}}}
+	if err := WriteTable(&buf, bad); err == nil {
+		t.Error("ragged row accepted")
+	}
+	tabby := TableData{Fields: []string{"A"}, Rows: []string{"r"}, Cells: [][]string{{"a\tb"}}}
+	if err := WriteTable(&buf, tabby); err == nil {
+		t.Error("tab in cell accepted")
+	}
+	empty := TableData{Fields: []string{"A"}}
+	if err := WriteTable(&buf, empty); err != nil {
+		t.Errorf("empty-body table should be writable: %v", err)
+	}
+	if !strings.HasPrefix(buf.String(), "key\t") {
+		t.Error("default row header not applied")
+	}
+}

@@ -1,0 +1,116 @@
+package semiring
+
+import (
+	"math"
+
+	"adjarray/internal/value"
+)
+
+// The seven operator pairs evaluated in Figures 3 and 5, over float64.
+// Each pair's Zero is the element the paper's figures use as that
+// operator's "respective value of zero, be it 0, −∞, or ∞":
+//
+//	+.*      0 = 0     1 = 1
+//	max.*    0 = 0     1 = 1   (domain: non-negative reals)
+//	min.*    0 = +Inf  1 = 1   (domain: positive reals ∪ {+Inf})
+//	max.+    0 = -Inf  1 = 0
+//	min.+    0 = +Inf  1 = 0
+//	max.min  0 = 0     1 = +Inf (domain: non-negative reals)
+//	min.max  0 = +Inf  1 = -Inf
+//
+// All seven satisfy the Theorem II.1 conditions on their stated domains
+// and therefore always produce adjacency arrays.
+
+func addF(a, b float64) float64 { return a + b }
+func mulF(a, b float64) float64 { return a * b }
+func maxF(a, b float64) float64 { return math.Max(a, b) }
+func minF(a, b float64) float64 { return math.Min(a, b) }
+
+// PlusTimes is the conventional arithmetic semiring +.× over the
+// non-negative reals: ⊕ aggregates all parallel edges, so adjacency
+// entries count/sum edge-weight products.
+func PlusTimes() Ops[float64] {
+	return Ops[float64]{Name: "+.*", Add: addF, Mul: mulF, Zero: 0, One: 1, Equal: value.Float64Equal}
+}
+
+// MaxTimes is max.× over the non-negative reals: selects the edge with
+// the largest weighted product among parallel edges.
+func MaxTimes() Ops[float64] {
+	return Ops[float64]{Name: "max.*", Add: maxF, Mul: mulF, Zero: 0, One: 1, Equal: value.Float64Equal}
+}
+
+// MinTimes is min.× over the positive reals with +Inf as 0: selects the
+// edge with the smallest weighted product.
+func MinTimes() Ops[float64] {
+	return Ops[float64]{Name: "min.*", Add: minF, Mul: timesInfAbsorbing, Zero: value.PosInf, One: 1, Equal: value.Float64Equal}
+}
+
+// timesInfAbsorbing is ordinary multiplication except that the min.×
+// zero element +Inf absorbs even against 0, avoiding the IEEE 0×Inf=NaN
+// hole so the algebra's annihilator law holds on the whole float range.
+func timesInfAbsorbing(a, b float64) float64 {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return value.PosInf
+	}
+	return a * b
+}
+
+// MaxPlus is the tropical max.+ pair with −Inf as 0 and 0 as 1: selects
+// the edge with the largest weighted sum. With −Inf (rather than the
+// number 0) as the zero element this pair satisfies all three
+// Theorem II.1 conditions; contrast MaxPlusAtZero.
+func MaxPlus() Ops[float64] {
+	return Ops[float64]{Name: "max.+", Add: maxF, Mul: plusNegInfAbsorbing, Zero: value.NegInf, One: 0, Equal: value.Float64Equal}
+}
+
+// plusNegInfAbsorbing is ordinary addition except that −Inf absorbs even
+// against +Inf (IEEE would give NaN), keeping 0 = −Inf a true annihilator.
+func plusNegInfAbsorbing(a, b float64) float64 {
+	if math.IsInf(a, -1) || math.IsInf(b, -1) {
+		return value.NegInf
+	}
+	return a + b
+}
+
+// MinPlus is the tropical min.+ pair with +Inf as 0 and 0 as 1: selects
+// the edge with the smallest weighted sum (the shortest-path algebra).
+func MinPlus() Ops[float64] {
+	return Ops[float64]{Name: "min.+", Add: minF, Mul: plusPosInfAbsorbing, Zero: value.PosInf, One: 0, Equal: value.Float64Equal}
+}
+
+func plusPosInfAbsorbing(a, b float64) float64 {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return value.PosInf
+	}
+	return a + b
+}
+
+// MaxMin is the bottleneck max.min pair over the non-negative reals with
+// 0 as 0 and +Inf as 1: selects the largest of all the shortest
+// connections (widest-path algebra).
+func MaxMin() Ops[float64] {
+	return Ops[float64]{Name: "max.min", Add: maxF, Mul: minF, Zero: 0, One: value.PosInf, Equal: value.Float64Equal}
+}
+
+// MinMax is the dual min.max pair with +Inf as 0 and −Inf as 1: selects
+// the smallest of all the largest connections.
+func MinMax() Ops[float64] {
+	return Ops[float64]{Name: "min.max", Add: minF, Mul: maxF, Zero: value.PosInf, One: value.NegInf, Equal: value.Float64Equal}
+}
+
+// MaxPlusAtZero is the paper's Section III *non-example*: max.+ anchored
+// at the number 0 over the non-negative reals. max still has identity 0,
+// and + still has identity 0, but 0 fails to annihilate (0 ⊗ v = v ≠ 0),
+// so a vertex pair with no connecting edge can still receive a non-zero
+// adjacency entry. Check reports exactly that violation.
+func MaxPlusAtZero() Ops[float64] {
+	return Ops[float64]{Name: "max.+@0", Add: maxF, Mul: addF, Zero: 0, One: 0, Equal: value.Float64Equal}
+}
+
+// Figure3Pairs returns the seven operator pairs in the order the paper's
+// Figure 3 and Figure 5 present them.
+func Figure3Pairs() []Ops[float64] {
+	return []Ops[float64]{
+		PlusTimes(), MaxTimes(), MinTimes(), MaxPlus(), MinPlus(), MaxMin(), MinMax(),
+	}
+}

@@ -1,0 +1,74 @@
+package semiring
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// algebraSpec is the JSON wire form of a FiniteAlgebra. Tables are
+// written with element *names* for readability:
+//
+//	{
+//	  "name": "bool",
+//	  "elements": ["0", "1"],
+//	  "zero": "0",
+//	  "one": "1",
+//	  "add": [["0","1"],["1","1"]],
+//	  "mul": [["0","0"],["0","1"]]
+//	}
+type algebraSpec struct {
+	Name     string     `json:"name"`
+	Elements []string   `json:"elements"`
+	Zero     string     `json:"zero"`
+	One      string     `json:"one"`
+	Add      [][]string `json:"add"`
+	Mul      [][]string `json:"mul"`
+}
+
+// ParseFiniteAlgebraJSON reads a JSON algebra specification and returns
+// the validated algebra plus its display name. This is the semiringlab
+// -custom input format: define any finite ⊕.⊗ pair in data and run the
+// Theorem II.1 analysis on it.
+func ParseFiniteAlgebraJSON(r io.Reader) (*FiniteAlgebra, string, error) {
+	var spec algebraSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, "", fmt.Errorf("semiring: parse algebra: %w", err)
+	}
+	if spec.Name == "" {
+		spec.Name = "custom"
+	}
+	idx := make(map[string]int, len(spec.Elements))
+	for i, e := range spec.Elements {
+		idx[e] = i
+	}
+	toIdx := func(tblName string, tbl [][]string) ([][]int, error) {
+		out := make([][]int, len(tbl))
+		for i, row := range tbl {
+			out[i] = make([]int, len(row))
+			for j, name := range row {
+				k, ok := idx[name]
+				if !ok {
+					return nil, fmt.Errorf("semiring: %s[%d][%d] references unknown element %q", tblName, i, j, name)
+				}
+				out[i][j] = k
+			}
+		}
+		return out, nil
+	}
+	add, err := toIdx("add", spec.Add)
+	if err != nil {
+		return nil, "", err
+	}
+	mul, err := toIdx("mul", spec.Mul)
+	if err != nil {
+		return nil, "", err
+	}
+	f, err := NewFiniteAlgebra(spec.Elements, spec.Zero, spec.One, add, mul)
+	if err != nil {
+		return nil, "", err
+	}
+	return f, spec.Name, nil
+}

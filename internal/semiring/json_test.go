@@ -1,0 +1,55 @@
+package semiring
+
+import (
+	"strings"
+	"testing"
+)
+
+const boolJSON = `{
+  "name": "bool",
+  "elements": ["0", "1"],
+  "zero": "0",
+  "one": "1",
+  "add": [["0","1"],["1","1"]],
+  "mul": [["0","0"],["0","1"]]
+}`
+
+func TestParseFiniteAlgebraJSON(t *testing.T) {
+	alg, name, err := ParseFiniteAlgebraJSON(strings.NewReader(boolJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "bool" {
+		t.Errorf("name = %q", name)
+	}
+	r := Check(alg.Ops(name), alg.Sample(), nil)
+	if !r.TheoremII1() {
+		t.Error("JSON Boolean algebra should comply")
+	}
+}
+
+func TestParseFiniteAlgebraJSONDefaultsName(t *testing.T) {
+	in := strings.Replace(boolJSON, `"name": "bool",`, "", 1)
+	_, name, err := ParseFiniteAlgebraJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "custom" {
+		t.Errorf("default name = %q", name)
+	}
+}
+
+func TestParseFiniteAlgebraJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":         `not json`,
+		"unknown field":   `{"elements":["0"],"zero":"0","one":"0","add":[["0"]],"mul":[["0"]],"extra":1}`,
+		"unknown element": strings.Replace(boolJSON, `["0","1"],["1","1"]`, `["0","9"],["1","1"]`, 1),
+		"bad identity":    strings.Replace(boolJSON, `"zero": "0"`, `"zero": "1"`, 1),
+		"unknown mul el":  strings.Replace(boolJSON, `[["0","0"],["0","1"]]`, `[["0","0"],["0","q"]]`, 1),
+	}
+	for name, in := range cases {
+		if _, _, err := ParseFiniteAlgebraJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

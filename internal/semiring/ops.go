@@ -1,0 +1,90 @@
+// Package semiring models the operator pairs ⊕.⊗ that drive array
+// multiplication in the paper, together with a property checker for the
+// three Theorem II.1 conditions (zero-sum-freeness, absence of zero
+// divisors, 0 annihilating ⊗).
+//
+// Deliberately, an Ops value is *not* required to be a semiring: the
+// paper's whole point is that associativity, commutativity and
+// distributivity are unnecessary for EoutᵀEin to be an adjacency array,
+// while the three conditions above are exactly necessary and sufficient.
+// The Check function therefore reports each property independently.
+package semiring
+
+import "fmt"
+
+// Ops bundles an operator pair ⊕.⊗ over a value set V with its
+// identities. Zero is the identity of Add (⊕) and doubles as the sparse
+// "missing entry" value; One is the identity of Mul (⊗). Equal decides
+// value equality (needed because V may be float64-with-NaN, a slice
+// type, etc.).
+//
+// Ops values are immutable after construction and safe for concurrent
+// use provided the function fields are pure, which all built-in pairs
+// are.
+type Ops[V any] struct {
+	// Name identifies the pair in reports and figure captions,
+	// e.g. "+.*" or "max.min".
+	Name string
+	// Add is ⊕, the operation that aggregates contributions from
+	// multiple edges between the same vertex pair.
+	Add func(V, V) V
+	// Mul is ⊗, the operation applied to Eoutᵀ(a,k) and Ein(k,b).
+	Mul func(V, V) V
+	// Zero is the ⊕-identity (0). Entries equal to Zero are treated
+	// as structurally absent.
+	Zero V
+	// One is the ⊗-identity (1), the conventional weight for an
+	// unweighted edge endpoint.
+	One V
+	// Equal reports value equality; it must at minimum recognise Zero.
+	Equal func(V, V) bool
+}
+
+// IsZero reports whether v is the algebra's 0 element.
+func (o Ops[V]) IsZero(v V) bool { return o.Equal(v, o.Zero) }
+
+// Validate checks that the declared identities behave as identities on
+// the provided sample values. It returns an error naming the first
+// violation, or nil. This is a cheap structural sanity check used by
+// constructors and tests; the full Theorem II.1 analysis lives in Check.
+func (o Ops[V]) Validate(sample []V) error {
+	if o.Add == nil || o.Mul == nil || o.Equal == nil {
+		return fmt.Errorf("semiring %q: nil operation", o.Name)
+	}
+	for _, v := range sample {
+		if !o.Equal(o.Add(v, o.Zero), v) || !o.Equal(o.Add(o.Zero, v), v) {
+			return fmt.Errorf("semiring %q: Zero is not a ⊕-identity for %v", o.Name, v)
+		}
+		if !o.Equal(o.Mul(v, o.One), v) || !o.Equal(o.Mul(o.One, v), v) {
+			return fmt.Errorf("semiring %q: One is not a ⊗-identity for %v", o.Name, v)
+		}
+	}
+	return nil
+}
+
+// FoldAdd reduces vs with ⊕, returning Zero for an empty slice. The
+// reduction is left-to-right because ⊕ is not assumed associative or
+// commutative; callers that need a specific evaluation order (as the
+// paper's Definition I.3 sum over k∈K does) get the key-order fold.
+func (o Ops[V]) FoldAdd(vs []V) V {
+	acc := o.Zero
+	for i, v := range vs {
+		if i == 0 {
+			acc = v
+			continue
+		}
+		acc = o.Add(acc, v)
+	}
+	if len(vs) == 0 {
+		return o.Zero
+	}
+	return acc
+}
+
+// Rename returns a copy of o carrying a different display name. Useful
+// when the same operation pair appears under several conventional
+// spellings (e.g. "+.×" vs "+.*").
+func (o Ops[V]) Rename(name string) Ops[V] {
+	o.Name = name
+	return o
+}

@@ -1,0 +1,140 @@
+package semiring
+
+import (
+	"adjarray/internal/value"
+)
+
+// Algebras over non-numeric value sets: strings, the two-element Boolean
+// algebra, power-set (union/intersection) algebras, and integer rings.
+// The string and Boolean pairs are compliant examples from the paper's
+// introduction and Section III; power sets and rings are the named
+// non-examples.
+
+// StringMaxMin is the introduction's alphanumeric-string algebra:
+// ⊕ = lexicographic max with identity "" and ⊗ = lexicographic min.
+// Because "" is the least string, min(v, "") = "" makes "" a true
+// annihilator, and the pair satisfies all three Theorem II.1 conditions
+// — the example the paper opens with.
+func StringMaxMin() Ops[string] {
+	return Ops[string]{
+		Name: "smax.smin",
+		Add: func(a, b string) string {
+			if a >= b {
+				return a
+			}
+			return b
+		},
+		Mul: func(a, b string) string {
+			if a <= b {
+				return a
+			}
+			return b
+		},
+		Zero:  "",
+		One:   "￿", // above every alphanumeric string; acts as the ⊗-identity on the working domain
+		Equal: func(a, b string) bool { return a == b },
+	}
+}
+
+// BoolOrAnd is the two-element Boolean algebra ∨.∧ — the *trivial*
+// Boolean algebra, which does satisfy the conditions (only non-trivial
+// Boolean algebras fail, see PowerSet). It yields unweighted adjacency
+// patterns.
+func BoolOrAnd() Ops[bool] {
+	return Ops[bool]{
+		Name:  "or.and",
+		Add:   func(a, b bool) bool { return a || b },
+		Mul:   func(a, b bool) bool { return a && b },
+		Zero:  false,
+		One:   true,
+		Equal: func(a, b bool) bool { return a == b },
+	}
+}
+
+// PowerSet is the union/intersection pair ∪.∩ over finite string sets
+// with ∅ as 0 and the given universe as 1. For any universe with at
+// least two elements this is a non-trivial Boolean algebra and a paper
+// non-example: two disjoint non-empty sets are zero divisors
+// ({a} ∩ {b} = ∅). Section III shows that *structured* incidence arrays
+// (entries of row k all drawn from a common word pool) never exercise
+// the violation, which is why ∪.∩ is still useful in practice.
+func PowerSet(universe value.Set) Ops[value.Set] {
+	return Ops[value.Set]{
+		Name:  "union.intersect",
+		Add:   func(a, b value.Set) value.Set { return a.Union(b) },
+		Mul:   func(a, b value.Set) value.Set { return a.Intersect(b) },
+		Zero:  nil,
+		One:   universe,
+		Equal: func(a, b value.Set) bool { return a.Equal(b) },
+	}
+}
+
+// IntRing is the ring (ℤ, +, ×), a paper non-example: rings other than
+// the zero ring are never zero-sum-free because every element has an
+// additive inverse (v ⊕ (−v) = 0), so two opposite-weight parallel edges
+// cancel into a structural zero.
+func IntRing() Ops[int64] {
+	return Ops[int64]{
+		Name:  "int+.int*",
+		Add:   func(a, b int64) int64 { return a + b },
+		Mul:   func(a, b int64) int64 { return a * b },
+		Zero:  0,
+		One:   1,
+		Equal: func(a, b int64) bool { return a == b },
+	}
+}
+
+// ZMod is the ring ℤ/nℤ, which for composite n also has zero divisors
+// (e.g. 2 ⊗ 3 = 0 in ℤ/6ℤ), violating two conditions at once.
+func ZMod(n int64) Ops[int64] {
+	mod := func(a int64) int64 {
+		a %= n
+		if a < 0 {
+			a += n
+		}
+		return a
+	}
+	return Ops[int64]{
+		Name:  "zmod",
+		Add:   func(a, b int64) int64 { return mod(a + b) },
+		Mul:   func(a, b int64) int64 { return mod(a * b) },
+		Zero:  0,
+		One:   mod(1),
+		Equal: func(a, b int64) bool { return a == b },
+	}
+}
+
+// NatPlusTimes is (ℕ, +, ×) restricted to int64, the discrete compliant
+// example named in Section III.
+func NatPlusTimes() Ops[int64] {
+	return Ops[int64]{
+		Name:  "nat+.nat*",
+		Add:   func(a, b int64) int64 { return a + b },
+		Mul:   func(a, b int64) int64 { return a * b },
+		Zero:  0,
+		One:   1,
+		Equal: func(a, b int64) bool { return a == b },
+	}
+}
+
+// LeftmostNonzero is a deliberately non-commutative, non-associative
+// compliant pair used in tests to exercise the paper's claim that
+// commutativity/associativity/distributivity are NOT required:
+// a ⊕ b keeps the left operand unless it is zero; a ⊗ b multiplies.
+// It is zero-sum-free, has no zero divisors, and 0 annihilates, yet
+// a ⊕ b ≠ b ⊕ a in general.
+func LeftmostNonzero() Ops[float64] {
+	return Ops[float64]{
+		Name: "first.*",
+		Add: func(a, b float64) float64 {
+			if a != 0 {
+				return a
+			}
+			return b
+		},
+		Mul:   mulF,
+		Zero:  0,
+		One:   1,
+		Equal: value.Float64Equal,
+	}
+}

@@ -1,0 +1,185 @@
+package semiring
+
+import (
+	"fmt"
+	"sort"
+
+	"adjarray/internal/value"
+)
+
+// Entry describes a named float64 operator pair, its intended value
+// domain, and a canonical sample of domain values used by the property
+// checker and the CLIs.
+type Entry struct {
+	Name        string
+	Aliases     []string
+	Description string
+	Ops         Ops[float64]
+	Sample      []float64
+}
+
+// nonNegSample covers the domain of the pairs anchored at 0.
+var nonNegSample = []float64{0, 0.5, 1, 2, 3, 7, 13}
+
+// posSample excludes 0 for min.× (whose domain is positive reals) and
+// includes the +Inf zero element.
+var posSample = []float64{value.PosInf, 0.5, 1, 2, 3, 7, 13}
+
+// tropicalMaxSample includes the −Inf zero of max.+.
+var tropicalMaxSample = []float64{value.NegInf, -2, 0, 1, 3, 7}
+
+// tropicalMinSample includes the +Inf zero of min.+ and min.max.
+var tropicalMinSample = []float64{value.PosInf, -2, 0, 1, 3, 7}
+
+// signedSample exposes additive inverses, demonstrating why rings fail.
+var signedSample = []float64{0, 1, -1, 2, -2, 3}
+
+// builtins lists every registered float64 pair in presentation order.
+func builtins() []Entry {
+	return []Entry{
+		{
+			Name: "+.*", Aliases: []string{"+.x", "plus.times"},
+			Description: "sum of products of edge weights; aggregates all edges between two vertices",
+			Ops:         PlusTimes(), Sample: nonNegSample,
+		},
+		{
+			Name: "max.*", Aliases: []string{"max.x", "max.times"},
+			Description: "maximum of products; selects the edge with the largest weighted product",
+			Ops:         MaxTimes(), Sample: nonNegSample,
+		},
+		{
+			Name: "min.*", Aliases: []string{"min.x", "min.times"},
+			Description: "minimum of products; selects the edge with the smallest weighted product",
+			Ops:         MinTimes(), Sample: posSample,
+		},
+		{
+			Name: "max.+", Aliases: []string{"max.plus"},
+			Description: "maximum of sums; selects the edge with the largest weighted sum",
+			Ops:         MaxPlus(), Sample: tropicalMaxSample,
+		},
+		{
+			Name: "min.+", Aliases: []string{"min.plus"},
+			Description: "minimum of sums; selects the edge with the smallest weighted sum (shortest path)",
+			Ops:         MinPlus(), Sample: tropicalMinSample,
+		},
+		{
+			Name:        "max.min",
+			Description: "maximum of minimums; the largest of all the shortest connections (widest path)",
+			Ops:         MaxMin(), Sample: nonNegSample,
+		},
+		{
+			Name:        "min.max",
+			Description: "minimum of maximums; the smallest of all the largest connections",
+			Ops:         MinMax(), Sample: tropicalMinSample,
+		},
+		{
+			Name: "max.+@0", Aliases: []string{"maxplus0"},
+			Description: "NON-EXAMPLE: max.+ anchored at the number 0; 0 fails to annihilate",
+			Ops:         MaxPlusAtZero(), Sample: nonNegSample,
+		},
+		{
+			Name:        "max.+@0-signed",
+			Description: "NON-EXAMPLE: max.+ anchored at 0 over signed reals; zero-product property fails (v ⊗ −v = 0)",
+			Ops:         MaxPlusAtZero().Rename("max.+@0-signed"), Sample: signedSample,
+		},
+		{
+			Name: "real+.real*", Aliases: []string{"ring"},
+			Description: "NON-EXAMPLE: the field of signed reals; additive inverses break zero-sum-freeness",
+			Ops:         PlusTimes().Rename("real+.real*"), Sample: signedSample,
+		},
+		{
+			Name:        "first.*",
+			Description: "non-commutative compliant pair: keep the leftmost non-zero contribution",
+			Ops:         LeftmostNonzero(), Sample: nonNegSample,
+		},
+	}
+}
+
+// Registry returns all registered float64 operator pairs.
+func Registry() []Entry { return builtins() }
+
+// Lookup resolves a pair by name or alias (case-sensitive).
+func Lookup(name string) (Entry, bool) {
+	for _, e := range builtins() {
+		if e.Name == name {
+			return e, true
+		}
+		for _, a := range e.Aliases {
+			if a == name {
+				return e, true
+			}
+		}
+	}
+	return Entry{}, false
+}
+
+// Names returns the sorted primary names of all registered pairs.
+func Names() []string {
+	bs := builtins()
+	names := make([]string, len(bs))
+	for i, e := range bs {
+		names[i] = e.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ClassRow is one line of the Section III classification table: which
+// algebraic structures comply with the Theorem II.1 criteria.
+type ClassRow struct {
+	Name           string
+	Domain         string
+	ZeroSumFree    bool
+	NoZeroDivisors bool
+	Annihilator    bool
+	TheoremOK      bool
+	Witness        string // first violation, if any
+}
+
+// Classify evaluates every built-in algebra — float64 pairs plus the
+// string, Boolean, power-set and integer-ring algebras — on its
+// canonical sample and reports compliance. This regenerates the paper's
+// Section III classification (experiment E9).
+func Classify() []ClassRow {
+	var rows []ClassRow
+
+	add := func(name, domain string, r Report) {
+		w := ""
+		for _, c := range []Condition{r.ZeroSumFree, r.NoZeroDivisors, r.Annihilator} {
+			if !c.Holds {
+				w = c.Name + ": " + c.Witness
+				break
+			}
+		}
+		rows = append(rows, ClassRow{
+			Name: name, Domain: domain,
+			ZeroSumFree:    r.ZeroSumFree.Holds,
+			NoZeroDivisors: r.NoZeroDivisors.Holds,
+			Annihilator:    r.Annihilator.Holds,
+			TheoremOK:      r.TheoremII1(),
+			Witness:        w,
+		})
+	}
+
+	for _, e := range builtins() {
+		add(e.Name, "float64", Check(e.Ops, e.Sample, value.FormatFloat))
+	}
+
+	add("nat+.nat*", "int64 (ℕ)", Check(NatPlusTimes(), []int64{0, 1, 2, 3, 7}, nil))
+	add("int+.int*", "int64 (ℤ ring)", Check(IntRing(), []int64{0, 1, -1, 2, -2, 3, -3}, nil))
+	add("zmod6", "ℤ/6ℤ", Check(ZMod(6), []int64{0, 1, 2, 3, 4, 5}, nil))
+	add("or.and", "bool", Check(BoolOrAnd(), []bool{false, true}, nil))
+	add("smax.smin", "string", Check(StringMaxMin(), []string{"", "a", "ab", "b", "z"}, func(s string) string { return fmt.Sprintf("%q", s) }))
+
+	universe := value.NewSet("a", "b", "c")
+	subsets := []value.Set{nil, value.NewSet("a"), value.NewSet("b"), value.NewSet("c"),
+		value.NewSet("a", "b"), value.NewSet("a", "c"), value.NewSet("b", "c"), universe}
+	add("union.intersect", "2^{a,b,c}", Check(PowerSet(universe), subsets, func(s value.Set) string {
+		if s.IsEmpty() {
+			return "∅"
+		}
+		return s.String()
+	}))
+
+	return rows
+}

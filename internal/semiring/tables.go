@@ -1,0 +1,116 @@
+package semiring
+
+import (
+	"fmt"
+)
+
+// FiniteAlgebra is an operator pair over a finite set of named
+// elements, defined by explicit Cayley tables — the form the paper's
+// Theorem II.1 quantifies over (arbitrary closed ⊕/⊗ with identities,
+// no semiring laws assumed). Users can define algebras in data and have
+// the checker and gadget machinery applied to them.
+type FiniteAlgebra struct {
+	// Elements in index order; Elements[0] must be the ⊕-identity (0)
+	// and some element must serve as the ⊗-identity (1).
+	Elements []string
+	// ZeroName and OneName name the identities.
+	ZeroName, OneName string
+	// AddTable[i][j] is the index of Elements[i] ⊕ Elements[j];
+	// MulTable likewise for ⊗.
+	AddTable, MulTable [][]int
+
+	index map[string]int
+}
+
+// NewFiniteAlgebra validates the tables: square, in-range, and the
+// named identities actually behave as identities.
+func NewFiniteAlgebra(elements []string, zeroName, oneName string, add, mul [][]int) (*FiniteAlgebra, error) {
+	n := len(elements)
+	if n == 0 {
+		return nil, fmt.Errorf("semiring: empty element set")
+	}
+	idx := make(map[string]int, n)
+	for i, e := range elements {
+		if e == "" {
+			return nil, fmt.Errorf("semiring: element %d has empty name", i)
+		}
+		if _, dup := idx[e]; dup {
+			return nil, fmt.Errorf("semiring: duplicate element %q", e)
+		}
+		idx[e] = i
+	}
+	zi, ok := idx[zeroName]
+	if !ok {
+		return nil, fmt.Errorf("semiring: zero element %q not in set", zeroName)
+	}
+	oi, ok := idx[oneName]
+	if !ok {
+		return nil, fmt.Errorf("semiring: one element %q not in set", oneName)
+	}
+	check := func(name string, tbl [][]int) error {
+		if len(tbl) != n {
+			return fmt.Errorf("semiring: %s table has %d rows, want %d", name, len(tbl), n)
+		}
+		for i, row := range tbl {
+			if len(row) != n {
+				return fmt.Errorf("semiring: %s table row %d has %d entries, want %d", name, i, len(row), n)
+			}
+			for j, v := range row {
+				if v < 0 || v >= n {
+					return fmt.Errorf("semiring: %s[%d][%d] = %d out of range", name, i, j, v)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("add", add); err != nil {
+		return nil, err
+	}
+	if err := check("mul", mul); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if add[i][zi] != i || add[zi][i] != i {
+			return nil, fmt.Errorf("semiring: %q is not a ⊕-identity (fails at %q)", zeroName, elements[i])
+		}
+		if mul[i][oi] != i || mul[oi][i] != i {
+			return nil, fmt.Errorf("semiring: %q is not a ⊗-identity (fails at %q)", oneName, elements[i])
+		}
+	}
+	return &FiniteAlgebra{
+		Elements: elements, ZeroName: zeroName, OneName: oneName,
+		AddTable: add, MulTable: mul, index: idx,
+	}, nil
+}
+
+// Ops exposes the algebra as an operator pair over element names.
+// Unknown names passed to the operations map to the zero element (the
+// sparse convention for absent entries).
+func (f *FiniteAlgebra) Ops(name string) Ops[string] {
+	look := func(s string) int {
+		if i, ok := f.index[s]; ok {
+			return i
+		}
+		return f.index[f.ZeroName]
+	}
+	return Ops[string]{
+		Name: name,
+		Add: func(a, b string) string {
+			return f.Elements[f.AddTable[look(a)][look(b)]]
+		},
+		Mul: func(a, b string) string {
+			return f.Elements[f.MulTable[look(a)][look(b)]]
+		},
+		Zero:  f.ZeroName,
+		One:   f.OneName,
+		Equal: func(a, b string) bool { return a == b },
+	}
+}
+
+// Sample returns all element names — finite algebras admit exhaustive
+// condition checking.
+func (f *FiniteAlgebra) Sample() []string {
+	out := make([]string, len(f.Elements))
+	copy(out, f.Elements)
+	return out
+}

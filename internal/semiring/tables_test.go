@@ -1,0 +1,94 @@
+package semiring
+
+import (
+	"testing"
+)
+
+// boolAlgebraTables is {0,1} with ∨/∧ in table form.
+func boolAlgebraTables(t *testing.T) *FiniteAlgebra {
+	t.Helper()
+	f, err := NewFiniteAlgebra(
+		[]string{"0", "1"}, "0", "1",
+		[][]int{{0, 1}, {1, 1}}, // ∨
+		[][]int{{0, 0}, {0, 1}}, // ∧
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFiniteAlgebraBooleanComplies(t *testing.T) {
+	f := boolAlgebraTables(t)
+	ops := f.Ops("bool-tables")
+	r := Check(ops, f.Sample(), nil)
+	if !r.TheoremII1() {
+		t.Errorf("table-defined Boolean algebra should comply:\n%s", r)
+	}
+	if got := ops.Add("1", "0"); got != "1" {
+		t.Errorf("1 ∨ 0 = %q", got)
+	}
+	if got := ops.Mul("1", "1"); got != "1" {
+		t.Errorf("1 ∧ 1 = %q", got)
+	}
+	// Unknown names behave as zero.
+	if got := ops.Mul("??", "1"); got != "0" {
+		t.Errorf("unknown ⊗ 1 = %q, want zero", got)
+	}
+}
+
+func TestFiniteAlgebraZMod3(t *testing.T) {
+	// ℤ/3ℤ in tables: a field, so no zero divisors, but 1 ⊕ 2 = 0 —
+	// not zero-sum-free.
+	f, err := NewFiniteAlgebra(
+		[]string{"0", "1", "2"}, "0", "1",
+		[][]int{{0, 1, 2}, {1, 2, 0}, {2, 0, 1}},
+		[][]int{{0, 0, 0}, {0, 1, 2}, {0, 2, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Check(f.Ops("z3"), f.Sample(), nil)
+	if r.ZeroSumFree.Holds {
+		t.Error("ℤ/3ℤ should fail zero-sum-freeness")
+	}
+	if !r.NoZeroDivisors.Holds || !r.Annihilator.Holds {
+		t.Error("ℤ/3ℤ should pass the other two conditions")
+	}
+}
+
+func TestNewFiniteAlgebraValidation(t *testing.T) {
+	add := [][]int{{0, 1}, {1, 1}}
+	mul := [][]int{{0, 0}, {0, 1}}
+	cases := []struct {
+		name      string
+		elems     []string
+		zero, one string
+		add, mul  [][]int
+	}{
+		{"empty set", nil, "0", "1", nil, nil},
+		{"empty name", []string{"0", ""}, "0", "1", add, mul},
+		{"duplicate", []string{"x", "x"}, "x", "x", add, mul},
+		{"missing zero", []string{"0", "1"}, "z", "1", add, mul},
+		{"missing one", []string{"0", "1"}, "0", "w", add, mul},
+		{"short table", []string{"0", "1"}, "0", "1", [][]int{{0, 1}}, mul},
+		{"ragged row", []string{"0", "1"}, "0", "1", [][]int{{0, 1}, {1}}, mul},
+		{"out of range", []string{"0", "1"}, "0", "1", [][]int{{0, 9}, {1, 1}}, mul},
+		{"bad zero", []string{"0", "1"}, "1", "1", add, mul},
+		{"bad one", []string{"0", "1"}, "0", "0", add, mul},
+	}
+	for _, c := range cases {
+		if _, err := NewFiniteAlgebra(c.elems, c.zero, c.one, c.add, c.mul); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestFiniteAlgebraSampleIsCopy(t *testing.T) {
+	f := boolAlgebraTables(t)
+	s := f.Sample()
+	s[0] = "mutated"
+	if f.Elements[0] != "0" {
+		t.Error("Sample exposed internal storage")
+	}
+}

@@ -1,0 +1,197 @@
+// Package shard implements the incidence-parallel decomposition of
+// adjacency construction used by D4M-style parallel ingest: the edge
+// set K is partitioned into P shards (stand-ins for the MPI ranks /
+// database tablets of the paper's deployment environment), each shard
+// computes the partial product over its edge subset,
+//
+//	A_p = Eout[K_p, :]ᵀ ⊕.⊗ Ein[K_p, :]
+//
+// and the partials are ⊕-merged into the final adjacency array.
+//
+// Unlike the row-blocked SpGEMM in internal/sparse — which partitions
+// OUTPUT rows and preserves the per-cell fold order exactly — the
+// shard decomposition partitions the INPUT reduction, so the per-cell
+// ⊕ fold is re-associated: (v₁ ⊕ v₂) ⊕ (v₃ ⊕ v₄) instead of
+// ((v₁ ⊕ v₂) ⊕ v₃) ⊕ v₄. The merge order is deterministic (shards are
+// edge-key-contiguous and merged in ascending order), so the result is
+// reproducible run-to-run; it equals the sequential Definition I.3
+// fold exactly when ⊕ is associative — which every named pair in the
+// registry is, but the paper's theorem does not require. Construct
+// verifies this hypothesis when Options.CheckAssociative is set, and
+// the package tests demonstrate the divergence for a non-associative ⊕.
+package shard
+
+import (
+	"fmt"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/keys"
+	"adjarray/internal/parallel"
+	"adjarray/internal/semiring"
+)
+
+// Options tunes the sharded construction.
+type Options struct {
+	// Shards is the number of edge-key partitions; < 1 selects 4.
+	Shards int
+	// Workers bounds concurrent shard evaluation; < 1 selects
+	// GOMAXPROCS.
+	Workers int
+	// CheckAssociative, when set, samples ⊕ for associativity over the
+	// incidence values before constructing and fails fast if the
+	// re-associated merge could diverge from the sequential fold.
+	CheckAssociative bool
+}
+
+// Construct computes A = Eoutᵀ ⊕.⊗ Ein by edge-sharded partial
+// products. Eout and Ein must share their edge-key row sets (as
+// incidence arrays from one graph always do).
+func Construct[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V], opt Options) (*assoc.Array[V], error) {
+	if !eout.RowKeys().Equal(ein.RowKeys()) {
+		return nil, fmt.Errorf("shard: incidence arrays disagree on edge keys")
+	}
+	if opt.Shards < 1 {
+		opt.Shards = 4
+	}
+	if opt.CheckAssociative {
+		if err := checkAssociative(eout, ein, ops); err != nil {
+			return nil, err
+		}
+	}
+	edgeKeys := eout.RowKeys()
+	n := edgeKeys.Len()
+	if n == 0 {
+		return assoc.Correlate(eout, ein, ops, assoc.MulOptions{})
+	}
+	shards := opt.Shards
+	if shards > n {
+		shards = n
+	}
+
+	// Partition the (sorted) edge keys into contiguous ranges so the
+	// shard merge order equals the ascending-key order.
+	bounds := make([][2]int, shards)
+	per := (n + shards - 1) / shards
+	for s := range bounds {
+		lo := s * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		bounds[s] = [2]int{lo, hi}
+	}
+
+	partials := make([]*assoc.Array[V], shards)
+	errs := make([]error, shards)
+	parallel.ForGrain(shards, opt.Workers, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			b := bounds[s]
+			if b[0] >= b[1] {
+				continue
+			}
+			sel := keys.Range{Lo: edgeKeys.Key(b[0]), Hi: edgeKeys.Key(b[1] - 1)}
+			subOut := eout.SubRef(sel, nil)
+			subIn := ein.SubRef(sel, nil)
+			partials[s], errs[s] = assoc.Correlate(subOut, subIn, ops, assoc.MulOptions{})
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Deterministic ascending-shard ⊕-merge. Reindex onto the full
+	// output key space first so element-wise addition aligns.
+	rows := eout.ColKeys()
+	cols := ein.ColKeys()
+	var acc *assoc.Array[V]
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		full, err := p.Reindex(rows, cols)
+		if err != nil {
+			return nil, fmt.Errorf("shard: partial reindex: %w", err)
+		}
+		if acc == nil {
+			acc = full
+			continue
+		}
+		acc, err = assoc.Add(acc, full, ops)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		acc, _ = assoc.FromTriples[V](nil, nil).Reindex(rows, cols)
+	}
+	return acc, nil
+}
+
+// checkAssociative samples ⊕ over triples of distinct values present in
+// the incidence arrays (plus identities) and reports the first
+// violation.
+func checkAssociative[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V]) error {
+	vals := sampleValues(eout, ein, 12)
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, c := range vals {
+				left := ops.Add(ops.Add(a, b), c)
+				right := ops.Add(a, ops.Add(b, c))
+				if !ops.Equal(left, right) {
+					return fmt.Errorf("shard: ⊕ is not associative on the data (%v,%v,%v); "+
+						"sharded merge would diverge from the sequential fold — use the row-blocked kernel instead",
+						a, b, c)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sampleValues gathers up to max distinct stored values from both
+// arrays — the values ⊕ actually folds during the merge.
+func sampleValues[V any](eout, ein *assoc.Array[V], max int) []V {
+	var vals []V
+	collect := func(a *assoc.Array[V]) {
+		a.Iterate(func(_, _ string, v V) {
+			if len(vals) < max {
+				vals = append(vals, v)
+			}
+		})
+	}
+	collect(eout)
+	collect(ein)
+	return vals
+}
+
+// Plan describes how Construct would partition a given edge-key set —
+// exposed for the CLI and tests.
+func Plan(edgeKeys *keys.Set, shards int) []string {
+	if shards < 1 {
+		shards = 4
+	}
+	n := edgeKeys.Len()
+	if shards > n {
+		shards = n
+	}
+	if n == 0 {
+		return nil
+	}
+	per := (n + shards - 1) / shards
+	var out []string
+	for s := 0; s < shards; s++ {
+		lo := s * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		out = append(out, fmt.Sprintf("shard %d: [%s … %s] (%d edges)",
+			s, edgeKeys.Key(lo), edgeKeys.Key(hi-1), hi-lo))
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/dataset"
+	"adjarray/internal/graph"
+	"adjarray/internal/keys"
+	"adjarray/internal/semiring"
+	"adjarray/internal/value"
+)
+
+func eqF(a, b float64) bool { return value.Float64Equal(a, b) }
+
+func incidenceFor(t *testing.T, g *graph.Graph, w float64) (eout, ein *assoc.Array[float64]) {
+	t.Helper()
+	wf := func(graph.Edge) float64 { return w }
+	eout, ein, err := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: wf, In: wf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eout, ein
+}
+
+// For associative ⊕ (all registry pairs), the sharded construction must
+// equal the sequential kernel exactly, at every shard count.
+func TestShardedMatchesSequentialAcrossPairsAndCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	g := dataset.MultiEdge(r, 10, 40, 3) // parallel edges stress the merge
+	eout, ein := incidenceFor(t, g, 1)
+	for _, ops := range semiring.Figure3Pairs() {
+		want, err := assoc.Correlate(eout, ein, ops, assoc.MulOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFull, err := want.Reindex(eout.ColKeys(), ein.ColKeys())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 3, 8, 1000} {
+			got, err := Construct(eout, ein, ops, Options{Shards: shards, Workers: 4})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", ops.Name, shards, err)
+			}
+			if !got.Equal(wantFull, eqF) {
+				t.Errorf("%s shards=%d: sharded result diverges", ops.Name, shards)
+			}
+		}
+	}
+}
+
+func TestShardedMusicFigure3(t *testing.T) {
+	e1, e2 := dataset.MusicE1E2()
+	got, err := Construct(e1, e2, semiring.PlusTimes(), Options{Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dataset.Figure3Expected()["+.*"]
+	aligned, err := got.Reindex(want.RowKeys(), want.ColKeys())
+	if err == nil && want.Equal(aligned.SubRef(keys.InSet{Set: want.RowKeys()}, keys.InSet{Set: want.ColKeys()}), eqF) {
+		return
+	}
+	// got has full key sets (e1 cols × e2 cols); compare on the
+	// non-empty sub-pattern instead.
+	sub := got.SubRef(keys.InSet{Set: want.RowKeys()}, keys.InSet{Set: want.ColKeys()})
+	if !sub.Equal(want, eqF) {
+		t.Errorf("sharded Figure 3 mismatch:\n%s", assoc.Format(sub, value.FormatFloat))
+	}
+}
+
+func TestShardedRejectsMismatchedEdgeKeys(t *testing.T) {
+	a := assoc.FromTriples([]assoc.Triple[float64]{{Row: "k1", Col: "x", Val: 1}}, nil)
+	b := assoc.FromTriples([]assoc.Triple[float64]{{Row: "k2", Col: "y", Val: 1}}, nil)
+	if _, err := Construct(a, b, semiring.PlusTimes(), Options{}); err == nil {
+		t.Error("mismatched edge keys accepted")
+	}
+}
+
+func TestShardedEmptyInput(t *testing.T) {
+	empty := assoc.FromTriples[float64](nil, nil)
+	got, err := Construct(empty, empty, semiring.PlusTimes(), Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 0 {
+		t.Error("empty construction produced entries")
+	}
+}
+
+// The honest limitation: with a non-associative ⊕ the re-associated
+// shard merge can genuinely diverge from the sequential fold — and the
+// CheckAssociative guard catches it beforehand.
+func TestShardedNonAssociativeDivergesAndIsGuarded(t *testing.T) {
+	// ⊕ = "average" is commutative but NOT associative:
+	// avg(avg(1,3),5) = 3.5 vs avg(1,avg(3,5)) = 2.5.
+	avg := semiring.Ops[float64]{
+		Name: "avg.*",
+		Add:  func(a, b float64) float64 { return (a + b) / 2 },
+		Mul:  func(a, b float64) float64 { return a * b },
+		Zero: 0, One: 1,
+		Equal: value.Float64Equal,
+	}
+	// Four parallel edges a→b with distinct weights.
+	eout := assoc.FromTriples([]assoc.Triple[float64]{
+		{Row: "k1", Col: "a", Val: 1}, {Row: "k2", Col: "a", Val: 3},
+		{Row: "k3", Col: "a", Val: 5}, {Row: "k4", Col: "a", Val: 9},
+	}, nil)
+	ein := assoc.FromTriples([]assoc.Triple[float64]{
+		{Row: "k1", Col: "b", Val: 1}, {Row: "k2", Col: "b", Val: 1},
+		{Row: "k3", Col: "b", Val: 1}, {Row: "k4", Col: "b", Val: 1},
+	}, nil)
+
+	seq, err := assoc.Correlate(eout, ein, avg, assoc.MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Construct(eout, ein, avg, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, _ := seq.At("a", "b")
+	gv, _ := sharded.At("a", "b")
+	if sv == gv {
+		t.Errorf("expected divergence for non-associative ⊕, both %v", sv)
+	}
+
+	// The guard refuses up front.
+	_, err = Construct(eout, ein, avg, Options{Shards: 2, CheckAssociative: true})
+	if err == nil || !strings.Contains(err.Error(), "not associative") {
+		t.Errorf("guard missed non-associative ⊕: %v", err)
+	}
+
+	// And passes for an associative pair on the same data.
+	if _, err := Construct(eout, ein, semiring.PlusTimes(), Options{Shards: 2, CheckAssociative: true}); err != nil {
+		t.Errorf("guard rejected associative ⊕: %v", err)
+	}
+}
+
+func TestPlan(t *testing.T) {
+	ks := keys.New("e1", "e2", "e3", "e4", "e5")
+	plan := Plan(ks, 2)
+	if len(plan) != 2 {
+		t.Fatalf("plan = %v", plan)
+	}
+	if !strings.Contains(plan[0], "e1") || !strings.Contains(plan[1], "e5") {
+		t.Errorf("plan ranges wrong: %v", plan)
+	}
+	if Plan(keys.New(), 4) != nil {
+		t.Error("empty plan should be nil")
+	}
+	if got := Plan(ks, 0); len(got) == 0 {
+		t.Error("default shard count not applied")
+	}
+}

@@ -1,0 +1,97 @@
+package sparse
+
+import (
+	"fmt"
+
+	"adjarray/internal/semiring"
+)
+
+// Element-wise operations: the ⊕- and ⊗-based merges of two matrices
+// with the same shape, D4M's A+B and A.*B. EWiseAdd takes the pattern
+// union (absent entries act as ⊕-identities); EWiseMul takes the pattern
+// intersection (a single absent operand annihilates, which is sound
+// exactly when the algebra satisfies the Theorem II.1 annihilator
+// condition — the same implicit assumption SpGEMM makes).
+
+// EWiseAdd returns c(i,j) = a(i,j) ⊕ b(i,j) over the union pattern.
+// Where only one operand stores an entry, that value is kept unchanged
+// (0 ⊕ v = v). Entries folding to zero are pruned (relevant for
+// non-zero-sum-free algebras).
+func EWiseAdd[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
+	if err := sameShape(a, b); err != nil {
+		return nil, err
+	}
+	out := newRowAppender[V](a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		p, q := 0, 0
+		for p < len(ac) || q < len(bc) {
+			switch {
+			case q >= len(bc) || (p < len(ac) && ac[p] < bc[q]):
+				out.append(ac[p], av[p])
+				p++
+			case p >= len(ac) || bc[q] < ac[p]:
+				out.append(bc[q], bv[q])
+				q++
+			default:
+				s := ops.Add(av[p], bv[q])
+				if !ops.IsZero(s) {
+					out.append(ac[p], s)
+				}
+				p++
+				q++
+			}
+		}
+		out.endRow()
+	}
+	return out.finish(), nil
+}
+
+// EWiseMul returns c(i,j) = a(i,j) ⊗ b(i,j) over the intersection
+// pattern, pruning products equal to zero (relevant for algebras with
+// zero divisors).
+func EWiseMul[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
+	if err := sameShape(a, b); err != nil {
+		return nil, err
+	}
+	out := newRowAppender[V](a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		p, q := 0, 0
+		for p < len(ac) && q < len(bc) {
+			switch {
+			case ac[p] < bc[q]:
+				p++
+			case bc[q] < ac[p]:
+				q++
+			default:
+				prod := ops.Mul(av[p], bv[q])
+				if !ops.IsZero(prod) {
+					out.append(ac[p], prod)
+				}
+				p++
+				q++
+			}
+		}
+		out.endRow()
+	}
+	return out.finish(), nil
+}
+
+func sameShape[V any](a, b *CSR[V]) error {
+	if a.rows != b.rows || a.cols != b.cols {
+		return &ShapeError{ARows: a.rows, ACols: a.cols, BRows: b.rows, BCols: b.cols}
+	}
+	return nil
+}
+
+// ShapeError reports an element-wise shape mismatch.
+type ShapeError struct {
+	ARows, ACols, BRows, BCols int
+}
+
+func (e *ShapeError) Error() string {
+	return fmt.Sprintf("sparse: shape mismatch %d×%d vs %d×%d", e.ARows, e.ACols, e.BRows, e.BCols)
+}

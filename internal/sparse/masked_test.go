@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"adjarray/internal/semiring"
+	"adjarray/internal/value"
+)
+
+func TestMulMaskedEqualsFilteredProduct(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		a := randomCSR(r, 20, 25, 0.2)
+		b := randomCSR(r, 25, 15, 0.2)
+		mask := randomCSR(r, 20, 15, 0.3)
+		ops := semiring.PlusTimes()
+
+		got, err := MulMasked(a, b, mask, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := MulGustavson(a, b, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: full product filtered to the mask pattern.
+		want := full.Prune(func(float64) bool { return false }) // clone via no-op prune
+		keep := make(map[[2]int]bool)
+		mask.Iterate(func(i, j int, _ float64) { keep[[2]int{i, j}] = true })
+		filtered := newRowAppender[float64](full.Rows(), full.Cols())
+		for i := 0; i < full.Rows(); i++ {
+			cols, vals := full.Row(i)
+			for p, j := range cols {
+				if keep[[2]int{i, j}] {
+					filtered.append(j, vals[p])
+				}
+			}
+			filtered.endRow()
+		}
+		_ = want
+		if !Equal(filtered.finish(), got, value.Float64Equal) {
+			t.Fatalf("trial %d: masked product != filtered full product", trial)
+		}
+	}
+}
+
+func TestMulMaskedDimChecks(t *testing.T) {
+	a := Empty[float64](2, 3)
+	b := Empty[float64](3, 4)
+	badMask := Empty[float64](2, 5)
+	if _, err := MulMasked(a, b, badMask, semiring.PlusTimes()); err == nil {
+		t.Error("mismatched mask accepted")
+	}
+	badB := Empty[float64](9, 4)
+	if _, err := MulMasked(a, badB, Empty[float64](2, 4), semiring.PlusTimes()); err == nil {
+		t.Error("mismatched inner dims accepted")
+	}
+}
+
+func TestMulMaskedEmptyMaskGivesEmptyResult(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := randomCSR(r, 10, 10, 0.5)
+	got, err := MulMasked(a, a, Empty[float64](10, 10), semiring.PlusTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 0 {
+		t.Errorf("empty mask produced %d entries", got.NNZ())
+	}
+}
+
+func TestMulMaskedFoldOrderNonCommutative(t *testing.T) {
+	// Same contract as the unmasked kernels: ascending-k fold.
+	r := rand.New(rand.NewSource(6))
+	a := randomCSR(r, 15, 20, 0.3)
+	b := randomCSR(r, 20, 15, 0.3)
+	mask := randomCSR(r, 15, 15, 0.5)
+	ops := semiring.LeftmostNonzero()
+	got, err := MulMasked(a, b, mask, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := MulMerge(a, b, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Iterate(func(i, j int, v float64) {
+		if fv, ok := full.At(i, j); !ok || fv != v {
+			t.Errorf("masked (%d,%d)=%v differs from full %v", i, j, v, fv)
+		}
+	})
+}
+
+func TestSortInts(t *testing.T) {
+	xs := []int{5, 1, 4, 1, 3}
+	sortInts(xs)
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			t.Fatalf("not sorted: %v", xs)
+		}
+	}
+	sortInts(nil) // must not panic
+}

@@ -1,0 +1,120 @@
+package sparse
+
+import (
+	"adjarray/internal/parallel"
+	"adjarray/internal/semiring"
+)
+
+// MulParallel is row-blocked parallel Gustavson SpGEMM: output rows are
+// partitioned into grain-sized tasks executed by a worker pool, each
+// with its own sparse accumulator, then stitched into one CSR. Because
+// output rows are independent and each row's fold order is unchanged,
+// the result is bit-identical to MulGustavson for any ⊕, including
+// non-commutative ones.
+//
+// workers < 1 selects GOMAXPROCS. grain < 1 selects an automatic grain
+// of rows/(8·workers), clamped to at least 1 — small enough to balance
+// skewed row costs, large enough to amortize task dispatch.
+func MulParallel[V any](a, b *CSR[V], ops semiring.Ops[V], workers, grain int) (*CSR[V], error) {
+	if err := checkDims(a, b); err != nil {
+		return nil, err
+	}
+	w := parallel.Workers(workers, a.rows)
+	if w <= 1 || a.rows == 0 {
+		return MulGustavson(a, b, ops)
+	}
+	if grain < 1 {
+		grain = a.rows / (8 * w)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	tasks := (a.rows + grain - 1) / grain
+	blocks := make([]*rowAppender[V], tasks)
+	parallel.ForGrain(a.rows, w, grain, func(lo, hi int) {
+		out := newRowAppender[V](hi-lo, b.cols)
+		s := newSPA[V](b.cols)
+		for i := lo; i < hi; i++ {
+			gustavsonRow(a, b, ops, i, s, out)
+		}
+		blocks[lo/grain] = out
+	})
+	return stitch(a.rows, b.cols, blocks), nil
+}
+
+// stitch concatenates per-task row blocks into one CSR.
+func stitch[V any](rows, cols int, blocks []*rowAppender[V]) *CSR[V] {
+	nnz := 0
+	for _, blk := range blocks {
+		nnz += len(blk.colIdx)
+	}
+	rowPtr := make([]int, 1, rows+1)
+	colIdx := make([]int, 0, nnz)
+	val := make([]V, 0, nnz)
+	for _, blk := range blocks {
+		base := len(colIdx)
+		colIdx = append(colIdx, blk.colIdx...)
+		val = append(val, blk.val...)
+		for _, p := range blk.rowPtr[1:] {
+			rowPtr = append(rowPtr, base+p)
+		}
+	}
+	for len(rowPtr) < rows+1 {
+		rowPtr = append(rowPtr, len(colIdx))
+	}
+	return &CSR[V]{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}
+}
+
+// TransposeParallel is Transpose with the scatter phase parallelized
+// over source rows. Each output slot is written exactly once (the
+// per-column cursor is claimed atomically via pre-partitioned counts),
+// so no locking of the value array is needed.
+func TransposeParallel[V any](m *CSR[V], workers int) *CSR[V] {
+	w := parallel.Workers(workers, m.rows)
+	if w <= 1 || m.NNZ() == 0 {
+		return m.Transpose()
+	}
+	// Per-worker column counts, then prefix-sum to give every worker a
+	// private cursor range per column — a textbook two-pass parallel
+	// counting sort that keeps source-row order within each column.
+	chunk := (m.rows + w - 1) / w
+	counts := make([][]int, w)
+	parallel.For(m.rows, w, func(lo, hi int) {
+		c := make([]int, m.cols)
+		for p := m.rowPtr[lo]; p < m.rowPtr[hi]; p++ {
+			c[m.colIdx[p]]++
+		}
+		counts[lo/chunk] = c
+	})
+	rowPtr := make([]int, m.cols+1)
+	for j := 0; j < m.cols; j++ {
+		total := 0
+		for b := 0; b < w; b++ {
+			if counts[b] == nil {
+				continue
+			}
+			t := counts[b][j]
+			counts[b][j] = total // becomes the block's cursor base
+			total += t
+		}
+		rowPtr[j+1] = total
+	}
+	for j := 0; j < m.cols; j++ {
+		rowPtr[j+1] += rowPtr[j]
+	}
+	colIdx := make([]int, m.NNZ())
+	val := make([]V, m.NNZ())
+	parallel.For(m.rows, w, func(lo, hi int) {
+		cursor := counts[lo/chunk]
+		for i := lo; i < hi; i++ {
+			for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+				j := m.colIdx[p]
+				q := rowPtr[j] + cursor[j]
+				cursor[j]++
+				colIdx[q] = i
+				val[q] = m.val[p]
+			}
+		}
+	})
+	return &CSR[V]{rows: m.cols, cols: m.rows, rowPtr: rowPtr, colIdx: colIdx, val: val}
+}

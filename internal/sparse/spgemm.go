@@ -1,0 +1,241 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"adjarray/internal/semiring"
+)
+
+// SpGEMM — sparse matrix × sparse matrix under an operator pair ⊕.⊗.
+//
+// Contract shared by every variant: the contributions to output entry
+// C(i,j) = ⊕_k A(i,k) ⊗ B(k,j) are folded strictly in ascending k order,
+// matching the ordered reduction of Definition I.3, so results agree
+// across variants even for non-associative / non-commutative ⊕.
+//
+// Sparse multiplication inherently skips k where A(i,k) or B(k,j) is
+// missing; this silently *assumes* the annihilator and ⊕-identity laws.
+// MulDense below implements the literal Definition I.3 over every
+// k (including zeros) and is the ground truth the theorem machinery
+// compares against: Theorem II.1 is precisely the condition under which
+// the sparse shortcut is sound for adjacency construction.
+
+// Mul multiplies a (m×k) by b (k×n) with the default (Gustavson) kernel
+// and prunes entries that fold to the algebra's zero.
+func Mul[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
+	return MulGustavson(a, b, ops)
+}
+
+func checkDims[V any](a, b *CSR[V]) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("sparse: dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	return nil
+}
+
+// MulGustavson is row-by-row SpGEMM with a dense scratch accumulator
+// (SPA): O(rows·flops) time, O(cols) scratch. The classical kernel of
+// Gustavson (1978) and the CSR workhorse in GraphBLAS implementations.
+func MulGustavson[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
+	if err := checkDims(a, b); err != nil {
+		return nil, err
+	}
+	out := newRowAppender[V](a.rows, b.cols)
+	spa := newSPA[V](b.cols)
+	for i := 0; i < a.rows; i++ {
+		gustavsonRow(a, b, ops, i, spa, out)
+	}
+	return out.finish(), nil
+}
+
+// spa is a sparse accumulator: dense value scratch plus an occupancy
+// stamp, reusable across rows without clearing.
+type spa[V any] struct {
+	acc     []V
+	stamp   []int
+	current int
+	touched []int
+}
+
+func newSPA[V any](cols int) *spa[V] {
+	return &spa[V]{acc: make([]V, cols), stamp: make([]int, cols)}
+}
+
+func (s *spa[V]) reset() {
+	s.current++
+	s.touched = s.touched[:0]
+}
+
+// gustavsonRow computes one output row into out using the SPA.
+func gustavsonRow[V any](a, b *CSR[V], ops semiring.Ops[V], i int, s *spa[V], out *rowAppender[V]) {
+	s.reset()
+	aCols, aVals := a.Row(i)
+	for p, k := range aCols { // ascending k: Definition I.3 fold order
+		av := aVals[p]
+		bCols, bVals := b.Row(k)
+		for q, j := range bCols {
+			prod := ops.Mul(av, bVals[q])
+			if s.stamp[j] != s.current {
+				s.stamp[j] = s.current
+				s.acc[j] = prod
+				s.touched = append(s.touched, j)
+			} else {
+				s.acc[j] = ops.Add(s.acc[j], prod)
+			}
+		}
+	}
+	sort.Ints(s.touched)
+	for _, j := range s.touched {
+		if !ops.IsZero(s.acc[j]) {
+			out.append(j, s.acc[j])
+		}
+	}
+	out.endRow()
+}
+
+// MulHash is SpGEMM with a per-row hash-map accumulator: no O(cols)
+// scratch, better for hypersparse outputs; slower constants. Ablation
+// partner of MulGustavson.
+func MulHash[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
+	if err := checkDims(a, b); err != nil {
+		return nil, err
+	}
+	out := newRowAppender[V](a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		acc := make(map[int]V)
+		aCols, aVals := a.Row(i)
+		for p, k := range aCols {
+			av := aVals[p]
+			bCols, bVals := b.Row(k)
+			for q, j := range bCols {
+				prod := ops.Mul(av, bVals[q])
+				if cur, ok := acc[j]; ok {
+					acc[j] = ops.Add(cur, prod)
+				} else {
+					acc[j] = prod
+				}
+			}
+		}
+		js := make([]int, 0, len(acc))
+		for j := range acc {
+			js = append(js, j)
+		}
+		sort.Ints(js)
+		for _, j := range js {
+			if !ops.IsZero(acc[j]) {
+				out.append(j, acc[j])
+			}
+		}
+		out.endRow()
+	}
+	return out.finish(), nil
+}
+
+// MulMerge is SpGEMM by expansion and stable merge: gather every
+// (j, product) contribution of the row in generation (ascending-k)
+// order, stable-sort by j, then fold runs. Highest constant factor but
+// the simplest to verify; used as the oracle in property tests.
+func MulMerge[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
+	if err := checkDims(a, b); err != nil {
+		return nil, err
+	}
+	type contrib struct {
+		j int
+		v V
+	}
+	out := newRowAppender[V](a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		var cs []contrib
+		aCols, aVals := a.Row(i)
+		for p, k := range aCols {
+			av := aVals[p]
+			bCols, bVals := b.Row(k)
+			for q, j := range bCols {
+				cs = append(cs, contrib{j: j, v: ops.Mul(av, bVals[q])})
+			}
+		}
+		// Stable: contributions to the same j stay in ascending-k order.
+		sort.SliceStable(cs, func(x, y int) bool { return cs[x].j < cs[y].j })
+		for x := 0; x < len(cs); {
+			y := x + 1
+			acc := cs[x].v
+			for y < len(cs) && cs[y].j == cs[x].j {
+				acc = ops.Add(acc, cs[y].v)
+				y++
+			}
+			if !ops.IsZero(acc) {
+				out.append(cs[x].j, acc)
+			}
+			x = y
+		}
+		out.endRow()
+	}
+	return out.finish(), nil
+}
+
+// MulDense evaluates Definition I.3 literally: for every output pair
+// (i,j), fold A(i,k) ⊗ B(k,j) over EVERY k — including absent entries,
+// which are materialized as the algebra's zero. This is the mathematical
+// ground truth against which the sparse kernels' implicit use of the
+// annihilator/identity laws is judged; it is O(rows·inner·cols) and
+// meant for small verification instances only.
+//
+// The result keeps entries that are algebraically non-zero.
+func MulDense[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
+	if err := checkDims(a, b); err != nil {
+		return nil, err
+	}
+	da := a.ToDense(ops.Zero)
+	db := b.ToDense(ops.Zero)
+	out := newRowAppender[V](a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			var acc V
+			for k := 0; k < a.cols; k++ {
+				prod := ops.Mul(da[i][k], db[k][j])
+				if k == 0 {
+					acc = prod
+				} else {
+					acc = ops.Add(acc, prod)
+				}
+			}
+			if a.cols == 0 {
+				acc = ops.Zero
+			}
+			if !ops.IsZero(acc) {
+				out.append(j, acc)
+			}
+		}
+		out.endRow()
+	}
+	return out.finish(), nil
+}
+
+// rowAppender assembles a CSR row by row.
+type rowAppender[V any] struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	val        []V
+}
+
+func newRowAppender[V any](rows, cols int) *rowAppender[V] {
+	return &rowAppender[V]{rows: rows, cols: cols, rowPtr: make([]int, 1, rows+1)}
+}
+
+func (r *rowAppender[V]) append(j int, v V) {
+	r.colIdx = append(r.colIdx, j)
+	r.val = append(r.val, v)
+}
+
+func (r *rowAppender[V]) endRow() {
+	r.rowPtr = append(r.rowPtr, len(r.colIdx))
+}
+
+func (r *rowAppender[V]) finish() *CSR[V] {
+	for len(r.rowPtr) < r.rows+1 {
+		r.rowPtr = append(r.rowPtr, len(r.colIdx))
+	}
+	return &CSR[V]{rows: r.rows, cols: r.cols, rowPtr: r.rowPtr, colIdx: r.colIdx, val: r.val}
+}

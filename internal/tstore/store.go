@@ -1,0 +1,369 @@
+// Package tstore is the storage substrate standing in for the paper's
+// D4M/Accumulo backend: an in-memory sorted triple store with
+// Accumulo-like semantics — entries sorted by (row, column), range
+// scans, batched mutation through a memtable that flushes to immutable
+// sorted runs (the LSM design of Accumulo's in-memory map + RFiles),
+// newest-write-wins conflict resolution, and tombstoned deletes.
+//
+// On top of it, tablemult.go implements the Graphulo-style *server-side*
+// multiply: C = Aᵀ ⊕.⊗ B computed by streaming the two tables' rows in
+// merged sorted order, without materializing CSR matrices — the paper's
+// construction pipeline as a database-resident operation.
+//
+// The substitution (network tablet servers → one in-process store) is
+// recorded in DESIGN.md: the access pattern (sorted scans over edge-key
+// ranges) and the aggregation semantics are identical; only RPC is gone.
+package tstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Entry is one stored triple. Deleted marks a tombstone in internal
+// runs; scans never emit tombstones.
+type Entry struct {
+	Row, Col, Val string
+	Deleted       bool
+}
+
+func entryLess(a, b Entry) bool {
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	return a.Col < b.Col
+}
+
+// Options tunes the store.
+type Options struct {
+	// MemLimit is the memtable size that triggers a flush to a sorted
+	// run. <= 0 selects the default (4096 entries).
+	MemLimit int
+	// MaxRuns is the number of immutable runs that triggers a full
+	// compaction. <= 0 selects the default (8).
+	MaxRuns int
+}
+
+func (o *Options) defaults() {
+	if o.MemLimit <= 0 {
+		o.MemLimit = 4096
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 8
+	}
+}
+
+// Store is the sorted triple store. Safe for concurrent use: writers
+// serialize on the mutex, scans work on an immutable snapshot.
+type Store struct {
+	mu   sync.RWMutex
+	opts Options
+	mem  map[[2]string]Entry // memtable: latest write per key
+	runs [][]Entry           // immutable sorted runs, newest first
+}
+
+// NewStore creates an empty store.
+func NewStore(opts Options) *Store {
+	opts.defaults()
+	return &Store{opts: opts, mem: make(map[[2]string]Entry)}
+}
+
+// Put writes (row, col) = val.
+func (s *Store) Put(row, col, val string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[[2]string{row, col}] = Entry{Row: row, Col: col, Val: val}
+	s.maybeFlushLocked()
+}
+
+// Delete removes (row, col) by writing a tombstone.
+func (s *Store) Delete(row, col string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[[2]string{row, col}] = Entry{Row: row, Col: col, Deleted: true}
+	s.maybeFlushLocked()
+}
+
+// Get returns the current value at (row, col).
+func (s *Store) Get(row, col string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.mem[[2]string{row, col}]; ok {
+		if e.Deleted {
+			return "", false
+		}
+		return e.Val, true
+	}
+	for _, run := range s.runs { // newest first
+		i := sort.Search(len(run), func(i int) bool {
+			return !entryLess(run[i], Entry{Row: row, Col: col})
+		})
+		if i < len(run) && run[i].Row == row && run[i].Col == col {
+			if run[i].Deleted {
+				return "", false
+			}
+			return run[i].Val, true
+		}
+	}
+	return "", false
+}
+
+// maybeFlushLocked flushes the memtable to a run when it exceeds the
+// limit, and compacts when too many runs accumulate.
+func (s *Store) maybeFlushLocked() {
+	if len(s.mem) < s.opts.MemLimit {
+		return
+	}
+	s.flushLocked()
+	if len(s.runs) > s.opts.MaxRuns {
+		s.compactLocked()
+	}
+}
+
+func (s *Store) flushLocked() {
+	if len(s.mem) == 0 {
+		return
+	}
+	run := make([]Entry, 0, len(s.mem))
+	for _, e := range s.mem {
+		run = append(run, e)
+	}
+	sort.Slice(run, func(i, j int) bool { return entryLess(run[i], run[j]) })
+	s.runs = append([][]Entry{run}, s.runs...)
+	s.mem = make(map[[2]string]Entry)
+}
+
+// Flush forces the memtable into a sorted run.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+// Compact merges all runs (and the memtable) into a single run,
+// discarding tombstones and shadowed writes.
+func (s *Store) Compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	s.compactLocked()
+}
+
+func (s *Store) compactLocked() {
+	merged := mergeRuns(s.runs, "", "")
+	live := merged[:0]
+	for _, e := range merged {
+		if !e.Deleted {
+			live = append(live, e)
+		}
+	}
+	if len(live) == 0 {
+		s.runs = nil
+		return
+	}
+	s.runs = [][]Entry{live}
+}
+
+// Len returns the number of live entries (requires a full merge; O(n)).
+func (s *Store) Len() int {
+	n := 0
+	it := s.Scan(ScanRange{})
+	for {
+		if _, ok := it.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// ScanRange bounds a scan to rows in [StartRow, EndRow); empty strings
+// leave the corresponding side unbounded. RowPrefix, if set, overrides
+// both with a prefix scan — the idiom for reading one edge-key family.
+type ScanRange struct {
+	StartRow, EndRow string
+	RowPrefix        string
+}
+
+func (r ScanRange) bounds() (string, string) {
+	if r.RowPrefix != "" {
+		return r.RowPrefix, prefixEnd(r.RowPrefix)
+	}
+	return r.StartRow, r.EndRow
+}
+
+func prefixEnd(p string) string {
+	b := []byte(p)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xff {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}
+
+// Iterator walks live entries in (row, col) order over a snapshot taken
+// at Scan time; concurrent writes do not affect it.
+type Iterator struct {
+	entries []Entry
+	pos     int
+}
+
+// Next returns the next live entry.
+func (it *Iterator) Next() (Entry, bool) {
+	if it.pos >= len(it.entries) {
+		return Entry{}, false
+	}
+	e := it.entries[it.pos]
+	it.pos++
+	return e, true
+}
+
+// Scan returns an iterator over live entries in the range, sorted by
+// (row, col).
+func (s *Store) Scan(r ScanRange) *Iterator {
+	lo, hi := r.bounds()
+	s.mu.RLock()
+	snapshot := make([][]Entry, 0, len(s.runs)+1)
+	if len(s.mem) > 0 {
+		memRun := make([]Entry, 0, len(s.mem))
+		for _, e := range s.mem {
+			memRun = append(memRun, e)
+		}
+		sort.Slice(memRun, func(i, j int) bool { return entryLess(memRun[i], memRun[j]) })
+		snapshot = append(snapshot, memRun)
+	}
+	snapshot = append(snapshot, s.runs...)
+	s.mu.RUnlock()
+
+	merged := mergeRuns(snapshot, lo, hi)
+	live := merged[:0]
+	for _, e := range merged {
+		if !e.Deleted {
+			live = append(live, e)
+		}
+	}
+	return &Iterator{entries: live}
+}
+
+// mergeRuns k-way merges sorted runs, newest-first priority on equal
+// keys, restricted to rows in [lo, hi) ("" = unbounded).
+func mergeRuns(runs [][]Entry, lo, hi string) []Entry {
+	bounded := make([][]Entry, 0, len(runs))
+	for _, run := range runs {
+		start := 0
+		if lo != "" {
+			start = sort.Search(len(run), func(i int) bool { return run[i].Row >= lo })
+		}
+		end := len(run)
+		if hi != "" {
+			end = sort.Search(len(run), func(i int) bool { return run[i].Row >= hi })
+		}
+		if start < end {
+			bounded = append(bounded, run[start:end])
+		}
+	}
+	switch len(bounded) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]Entry, len(bounded[0]))
+		copy(out, bounded[0])
+		return out
+	}
+	// Iterative pairwise merge, keeping the newer run's entry on ties.
+	acc := bounded[0]
+	for _, run := range bounded[1:] {
+		acc = mergeTwo(acc, run)
+	}
+	return acc
+}
+
+// mergeTwo merges newer before older; on key ties the newer entry wins.
+func mergeTwo(newer, older []Entry) []Entry {
+	out := make([]Entry, 0, len(newer)+len(older))
+	i, j := 0, 0
+	for i < len(newer) && j < len(older) {
+		switch {
+		case entryLess(newer[i], older[j]):
+			out = append(out, newer[i])
+			i++
+		case entryLess(older[j], newer[i]):
+			out = append(out, older[j])
+			j++
+		default:
+			out = append(out, newer[i]) // newer shadows older
+			i++
+			j++
+		}
+	}
+	out = append(out, newer[i:]...)
+	out = append(out, older[j:]...)
+	return out
+}
+
+// BatchWriter buffers Puts and applies them in one lock acquisition per
+// batch — the analogue of Accumulo's BatchWriter.
+type BatchWriter struct {
+	store *Store
+	buf   []Entry
+	limit int
+}
+
+// NewBatchWriter creates a writer flushing every `limit` entries
+// (<= 0 selects 1024).
+func (s *Store) NewBatchWriter(limit int) *BatchWriter {
+	if limit <= 0 {
+		limit = 1024
+	}
+	return &BatchWriter{store: s, limit: limit}
+}
+
+// Put buffers one write.
+func (w *BatchWriter) Put(row, col, val string) {
+	w.buf = append(w.buf, Entry{Row: row, Col: col, Val: val})
+	if len(w.buf) >= w.limit {
+		w.Flush()
+	}
+}
+
+// Flush applies buffered writes.
+func (w *BatchWriter) Flush() {
+	if len(w.buf) == 0 {
+		return
+	}
+	w.store.mu.Lock()
+	for _, e := range w.buf {
+		w.store.mem[[2]string{e.Row, e.Col}] = e
+	}
+	w.store.maybeFlushLocked()
+	w.store.mu.Unlock()
+	w.buf = w.buf[:0]
+}
+
+// RowsWithPrefix lists the distinct row keys starting with p.
+func (s *Store) RowsWithPrefix(p string) []string {
+	it := s.Scan(ScanRange{RowPrefix: p})
+	var rows []string
+	last := ""
+	for {
+		e, ok := it.Next()
+		if !ok {
+			return rows
+		}
+		if e.Row != last || len(rows) == 0 {
+			if len(rows) == 0 || rows[len(rows)-1] != e.Row {
+				rows = append(rows, e.Row)
+			}
+			last = e.Row
+		}
+	}
+}
+
+// String summarizes the store for debugging.
+func (s *Store) String() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fmt.Sprintf("tstore{mem=%d, runs=%d}", len(s.mem), len(s.runs))
+}

@@ -1,0 +1,209 @@
+package tstore
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func collect(it *Iterator) []Entry {
+	var out []Entry
+	for {
+		e, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	s := NewStore(Options{})
+	s.Put("r1", "c1", "a")
+	s.Put("r1", "c2", "b")
+	if v, ok := s.Get("r1", "c1"); !ok || v != "a" {
+		t.Errorf("Get = %q,%v", v, ok)
+	}
+	if _, ok := s.Get("r1", "zz"); ok {
+		t.Error("missing key found")
+	}
+	s.Put("r1", "c1", "a2") // overwrite
+	if v, _ := s.Get("r1", "c1"); v != "a2" {
+		t.Error("overwrite not visible")
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	s := NewStore(Options{})
+	s.Put("r", "c", "v")
+	s.Delete("r", "c")
+	if _, ok := s.Get("r", "c"); ok {
+		t.Error("deleted entry still visible")
+	}
+	if n := s.Len(); n != 0 {
+		t.Errorf("Len after delete = %d", n)
+	}
+	// Delete survives flush and compaction.
+	s.Put("r2", "c", "v")
+	s.Flush()
+	s.Delete("r2", "c")
+	s.Compact()
+	if _, ok := s.Get("r2", "c"); ok {
+		t.Error("delete lost in compaction")
+	}
+}
+
+func TestScanOrderAcrossRunsAndMem(t *testing.T) {
+	s := NewStore(Options{MemLimit: 4})
+	// Interleave writes so entries scatter across runs and memtable.
+	keys := []string{"d", "a", "c", "e", "b", "f", "aa"}
+	for i, k := range keys {
+		s.Put(k, "col", fmt.Sprintf("v%d", i))
+	}
+	got := collect(s.Scan(ScanRange{}))
+	if len(got) != len(keys) {
+		t.Fatalf("scan returned %d entries, want %d", len(got), len(keys))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Row >= got[i].Row {
+			t.Fatalf("scan out of order: %q then %q", got[i-1].Row, got[i].Row)
+		}
+	}
+}
+
+func TestScanRangeBounds(t *testing.T) {
+	s := NewStore(Options{})
+	for _, r := range []string{"a", "b", "c", "d"} {
+		s.Put(r, "c", "v")
+	}
+	got := collect(s.Scan(ScanRange{StartRow: "b", EndRow: "d"}))
+	if len(got) != 2 || got[0].Row != "b" || got[1].Row != "c" {
+		t.Errorf("range scan = %v", got)
+	}
+	all := collect(s.Scan(ScanRange{}))
+	if len(all) != 4 {
+		t.Errorf("unbounded scan = %d entries", len(all))
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	s := NewStore(Options{})
+	s.Put("edge|1", "a", "1")
+	s.Put("edge|2", "b", "1")
+	s.Put("vert|1", "c", "1")
+	got := collect(s.Scan(ScanRange{RowPrefix: "edge|"}))
+	if len(got) != 2 {
+		t.Errorf("prefix scan = %v", got)
+	}
+	rows := s.RowsWithPrefix("edge|")
+	if len(rows) != 2 || rows[0] != "edge|1" || rows[1] != "edge|2" {
+		t.Errorf("RowsWithPrefix = %v", rows)
+	}
+}
+
+func TestNewestWriteWinsAcrossRuns(t *testing.T) {
+	s := NewStore(Options{MemLimit: 2})
+	s.Put("k", "c", "old")
+	s.Put("x", "c", "pad") // force flush with MemLimit 2
+	s.Put("k", "c", "new")
+	s.Put("y", "c", "pad2")
+	if v, _ := s.Get("k", "c"); v != "new" {
+		t.Errorf("Get = %q, want new", v)
+	}
+	got := collect(s.Scan(ScanRange{StartRow: "k", EndRow: "k\x00"}))
+	if len(got) != 1 || got[0].Val != "new" {
+		t.Errorf("scan sees %v", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := NewStore(Options{})
+	s.Put("a", "c", "1")
+	it := s.Scan(ScanRange{})
+	s.Put("b", "c", "2") // after snapshot
+	got := collect(it)
+	if len(got) != 1 {
+		t.Errorf("iterator saw post-snapshot write: %v", got)
+	}
+}
+
+func TestCompactShrinksRuns(t *testing.T) {
+	s := NewStore(Options{MemLimit: 2, MaxRuns: 2})
+	for i := 0; i < 40; i++ {
+		s.Put(fmt.Sprintf("r%02d", i%10), "c", fmt.Sprintf("v%d", i))
+	}
+	s.Compact()
+	if !strings.Contains(s.String(), "runs=1") && !strings.Contains(s.String(), "runs=0") {
+		t.Errorf("compaction left %s", s.String())
+	}
+	if n := s.Len(); n != 10 {
+		t.Errorf("Len = %d, want 10 distinct keys", n)
+	}
+}
+
+func TestBatchWriter(t *testing.T) {
+	s := NewStore(Options{})
+	w := s.NewBatchWriter(3)
+	for i := 0; i < 10; i++ {
+		w.Put(fmt.Sprintf("r%d", i), "c", "v")
+	}
+	w.Flush()
+	if n := s.Len(); n != 10 {
+		t.Errorf("Len = %d", n)
+	}
+	// Flush of empty buffer is a no-op.
+	w.Flush()
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := NewStore(Options{MemLimit: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				s.Put(fmt.Sprintf("r%03d", r.Intn(100)), fmt.Sprintf("c%d", w), "v")
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				es := collect(s.Scan(ScanRange{}))
+				for j := 1; j < len(es); j++ {
+					if entryLess(es[j], es[j-1]) {
+						t.Error("concurrent scan out of order")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := s.Len(); n > 400 {
+		t.Errorf("more live entries than distinct keys: %d", n)
+	}
+}
+
+func TestScanEmptyStore(t *testing.T) {
+	s := NewStore(Options{})
+	if got := collect(s.Scan(ScanRange{})); len(got) != 0 {
+		t.Errorf("empty store scan = %v", got)
+	}
+	s.Compact() // compacting empty store must not panic
+}
+
+func TestPrefixEnd(t *testing.T) {
+	if prefixEnd("ab") != "ac" {
+		t.Error("prefixEnd(ab)")
+	}
+	if prefixEnd("\xff") != "" {
+		t.Error("prefixEnd(0xff) should be unbounded")
+	}
+}

@@ -1,0 +1,143 @@
+package tstore
+
+import (
+	"fmt"
+	"sort"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/semiring"
+)
+
+// tablemult.go — the Graphulo-style server-side multiply: adjacency
+// construction executed inside the store by streaming both incidence
+// tables' rows in merged sorted order, never materializing matrices.
+// This is the paper's A = Eoutᵀ ⊕.⊗ Ein as a database operation
+// ("Graphulo implementation of server-side sparse matrix multiply in
+// the Accumulo database", one of the paper's referenced substrates).
+
+// Codec converts between the store's string values and the algebra's
+// value type.
+type Codec[V any] struct {
+	Parse  func(string) (V, error)
+	Format func(V) string
+}
+
+// FromArray loads an associative array into a fresh store, one triple
+// per entry.
+func FromArray[V any](a *assoc.Array[V], format func(V) string, opts Options) *Store {
+	s := NewStore(opts)
+	w := s.NewBatchWriter(0)
+	a.Iterate(func(row, col string, v V) {
+		w.Put(row, col, format(v))
+	})
+	w.Flush()
+	return s
+}
+
+// ToArray reads an entire store back into an associative array.
+func ToArray[V any](s *Store, parse func(string) (V, error)) (*assoc.Array[V], error) {
+	var ts []assoc.Triple[V]
+	it := s.Scan(ScanRange{})
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		v, err := parse(e.Val)
+		if err != nil {
+			return nil, fmt.Errorf("tstore: entry (%s,%s): %w", e.Row, e.Col, err)
+		}
+		ts = append(ts, assoc.Triple[V]{Row: e.Row, Col: e.Col, Val: v})
+	}
+	return assoc.FromTriples(ts, nil), nil
+}
+
+// TableMult computes C = Aᵀ ⊕.⊗ B where A and B are stored as
+// (sharedKey, otherKey) → value tables — for adjacency construction,
+// A = Eout and B = Ein with rows keyed by edge. The result triples
+// C(a, b) = ⊕_k A(k,a) ⊗ B(k,b) are written into the out store (which
+// the caller supplies, possibly pre-populated for C += semantics with
+// sum handled by the caller's codec — this implementation overwrites).
+//
+// The scan processes shared row keys in ascending order, so the ⊕ fold
+// per output cell follows Definition I.3's key order even for
+// non-commutative ⊕. Entries folding to ops.Zero are suppressed.
+func TableMult[V any](a, b *Store, ops semiring.Ops[V], codec Codec[V], out *Store) error {
+	type cell struct{ r, c string }
+	acc := make(map[cell]V)
+	var order []cell // first-touch order for deterministic output writes
+
+	itA := a.Scan(ScanRange{})
+	itB := b.Scan(ScanRange{})
+	ea, okA := itA.Next()
+	eb, okB := itB.Next()
+	for okA && okB {
+		switch {
+		case ea.Row < eb.Row:
+			ea, okA = itA.Next()
+		case ea.Row > eb.Row:
+			eb, okB = itB.Next()
+		default:
+			row := ea.Row
+			// Gather the complete row from both tables.
+			var aEnts, bEnts []Entry
+			for okA && ea.Row == row {
+				aEnts = append(aEnts, ea)
+				ea, okA = itA.Next()
+			}
+			for okB && eb.Row == row {
+				bEnts = append(bEnts, eb)
+				eb, okB = itB.Next()
+			}
+			for _, x := range aEnts {
+				va, err := codec.Parse(x.Val)
+				if err != nil {
+					return fmt.Errorf("tstore: A(%s,%s): %w", x.Row, x.Col, err)
+				}
+				for _, y := range bEnts {
+					vb, err := codec.Parse(y.Val)
+					if err != nil {
+						return fmt.Errorf("tstore: B(%s,%s): %w", y.Row, y.Col, err)
+					}
+					k := cell{r: x.Col, c: y.Col}
+					prod := ops.Mul(va, vb)
+					if cur, ok := acc[k]; ok {
+						acc[k] = ops.Add(cur, prod)
+					} else {
+						acc[k] = prod
+						order = append(order, k)
+					}
+				}
+			}
+		}
+	}
+
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].r != order[j].r {
+			return order[i].r < order[j].r
+		}
+		return order[i].c < order[j].c
+	})
+	w := out.NewBatchWriter(0)
+	for _, k := range order {
+		v := acc[k]
+		if ops.IsZero(v) {
+			continue
+		}
+		w.Put(k.r, k.c, codec.Format(v))
+	}
+	w.Flush()
+	return nil
+}
+
+// AdjacencyFromTables is the end-to-end pipeline: Eout and Ein live in
+// the store as (edgeKey, vertex) tables; the result is the adjacency
+// array read back out. This is the tstore counterpart of
+// graph.Adjacency and must agree with it exactly.
+func AdjacencyFromTables[V any](eout, ein *Store, ops semiring.Ops[V], codec Codec[V]) (*assoc.Array[V], error) {
+	out := NewStore(Options{})
+	if err := TableMult(eout, ein, ops, codec, out); err != nil {
+		return nil, err
+	}
+	return ToArray(out, codec.Parse)
+}

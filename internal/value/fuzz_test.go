@@ -1,0 +1,50 @@
+package value
+
+import (
+	"testing"
+)
+
+// FuzzParseSet hardens the set literal parser: no panic, and parsing is
+// idempotent (parse → render → parse is a fixpoint).
+func FuzzParseSet(f *testing.F) {
+	for _, seed := range []string{
+		"", "{}", "{a}", "{a,b}", "a,b", "{a,,b}", "{ a , b }", "{{}}",
+		"{a,b", "a}b", "\x00", "{,}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		s := ParseSet(input)
+		again := ParseSet(s.String())
+		if !s.Equal(again) {
+			t.Fatalf("parse not idempotent: %q -> %v -> %v", input, s, again)
+		}
+		// Canonical form: sorted, deduplicated.
+		for i := 1; i < len(s); i++ {
+			if s[i-1] >= s[i] {
+				t.Fatalf("non-canonical set from %q: %v", input, s)
+			}
+		}
+	})
+}
+
+// FuzzParseFloat checks the float codec never panics and round-trips
+// every value it accepts.
+func FuzzParseFloat(f *testing.F) {
+	for _, seed := range []string{"0", "-3", "2.5", "-Inf", "+Inf", "Inf", "NaN", "1e308", "x", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := ParseFloat(input)
+		if err != nil {
+			return
+		}
+		back, err := ParseFloat(FormatFloat(v))
+		if err != nil {
+			t.Fatalf("FormatFloat produced unparseable %q", FormatFloat(v))
+		}
+		if !Float64Equal(v, back) {
+			t.Fatalf("round trip %q: %v != %v", input, v, back)
+		}
+	})
+}
