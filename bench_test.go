@@ -122,6 +122,7 @@ func BenchmarkTheoremForward(b *testing.B) {
 	for _, name := range []string{"+.*", "max.min"} {
 		e, _ := semiring.Lookup(name)
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := graph.VerifyConstruction(g, e.Ops, graph.Weights[float64]{}); err != nil {
 					b.Fatal(err)
@@ -138,6 +139,7 @@ func BenchmarkTheoremGadgets(b *testing.B) {
 	for _, name := range entries {
 		e, _ := semiring.Lookup(name)
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if v := graph.FindViolation(e.Ops, e.Sample); v == nil {
 					b.Fatalf("%s: no violation found", name)
@@ -199,10 +201,26 @@ func BenchmarkConstructionScaling(b *testing.B) {
 		}
 		moutT := eout.Transpose().Matrix()
 		min := ein.Matrix()
+		b.Run(fmt.Sprintf("rmat-s%d/legacy", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparse.MulLegacy(moutT, min, semiring.PlusTimes()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		b.Run(fmt.Sprintf("rmat-s%d/csr", scale), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := sparse.MulGustavson(moutT, min, semiring.PlusTimes()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rmat-s%d/twophase", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparse.MulTwoPhase(moutT, min, semiring.PlusTimes()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -231,27 +249,54 @@ func BenchmarkConstructionScaling(b *testing.B) {
 	}
 }
 
-// Ablation — SpGEMM accumulator variants (DESIGN.md §5).
+// Ablation — SpGEMM accumulator variants (DESIGN.md §5). "legacy" is
+// the seed repo's kernel frozen verbatim (append + unconditional sort),
+// so the two-phase engine's speedup can be read off a single run.
+// Two workload shapes per scale: "rmat-sN" is the construction product
+// Eoutᵀ·Ein (one flop per edge — memory-latency bound, where the win
+// is allocation), and "rmat-sN-2hop" is the downstream A·Aᵀ product
+// (flops ≫ nnz — where the two-phase engine's time win shows); the
+// s12 cases are the large ones.
 func BenchmarkSpGEMMVariants(b *testing.B) {
-	g := dataset.RMAT(rand.New(rand.NewSource(4)), 10, 8)
-	one := func(graph.Edge) float64 { return 1 }
-	eout, ein, _ := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
-	a := eout.Transpose().Matrix()
-	c := ein.Matrix()
-	variants := map[string]func() error{
-		"gustavson": func() error { _, err := sparse.MulGustavson(a, c, semiring.PlusTimes()); return err },
-		"hash":      func() error { _, err := sparse.MulHash(a, c, semiring.PlusTimes()); return err },
-		"merge":     func() error { _, err := sparse.MulMerge(a, c, semiring.PlusTimes()); return err },
-	}
-	for name, fn := range variants {
-		b.Run(name, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := fn(); err != nil {
-					b.Fatal(err)
-				}
+	for _, cfg := range []struct {
+		scale int
+		hop2  bool
+	}{{10, false}, {10, true}, {12, false}, {12, true}} {
+		g := dataset.RMAT(rand.New(rand.NewSource(4)), cfg.scale, 8)
+		one := func(graph.Edge) float64 { return 1 }
+		eout, ein, _ := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+		a := eout.Transpose().Matrix()
+		c := ein.Matrix()
+		name := fmt.Sprintf("rmat-s%d", cfg.scale)
+		if cfg.hop2 {
+			adj, err := sparse.Mul(a, c, semiring.PlusTimes())
+			if err != nil {
+				b.Fatal(err)
 			}
-		})
+			a, c = adj, adj.Transpose()
+			name += "-2hop"
+		}
+		variants := []struct {
+			name string
+			fn   func() error
+		}{
+			{"legacy", func() error { _, err := sparse.MulLegacy(a, c, semiring.PlusTimes()); return err }},
+			{"gustavson", func() error { _, err := sparse.MulGustavson(a, c, semiring.PlusTimes()); return err }},
+			{"hash", func() error { _, err := sparse.MulHash(a, c, semiring.PlusTimes()); return err }},
+			{"merge", func() error { _, err := sparse.MulMerge(a, c, semiring.PlusTimes()); return err }},
+			{"twophase", func() error { _, err := sparse.MulTwoPhase(a, c, semiring.PlusTimes()); return err }},
+			{"parallel", func() error { _, err := sparse.MulParallel(a, c, semiring.PlusTimes(), -1, 0); return err }},
+		}
+		for _, v := range variants {
+			b.Run(name+"/"+v.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := v.fn(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -463,6 +508,7 @@ func BenchmarkAlgorithmsOnConstructedArray(b *testing.B) {
 	}
 	src := a.RowKeys().Key(0)
 	b.Run("bfs", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := algo.BFSLevels(a, src); err != nil {
 				b.Fatal(err)
@@ -470,6 +516,7 @@ func BenchmarkAlgorithmsOnConstructedArray(b *testing.B) {
 		}
 	})
 	b.Run("sssp", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := algo.SSSP(a, src); err != nil {
 				b.Fatal(err)
@@ -477,6 +524,7 @@ func BenchmarkAlgorithmsOnConstructedArray(b *testing.B) {
 		}
 	})
 	b.Run("components", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := algo.Components(a); err != nil {
 				b.Fatal(err)
@@ -484,6 +532,7 @@ func BenchmarkAlgorithmsOnConstructedArray(b *testing.B) {
 		}
 	})
 	b.Run("pagerank", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := algo.PageRank(a, 0.85, 1e-8, 100); err != nil {
 				b.Fatal(err)

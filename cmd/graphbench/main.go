@@ -9,13 +9,16 @@
 //	graphbench                       # default R-MAT sweep, all backends
 //	graphbench -gen er -n 2000 -p 0.002
 //	graphbench -gen rmat -scale 12 -ef 8 -backend parallel -workers 8
+//	graphbench -json BENCH.json      # also write a machine-readable baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"adjarray/internal/core"
@@ -24,6 +27,29 @@ import (
 	"adjarray/internal/render"
 	"adjarray/internal/semiring"
 )
+
+// jsonRow is one configuration's result in the -json baseline file.
+type jsonRow struct {
+	Generator string `json:"generator"`
+	Vertices  int    `json:"vertices"`
+	Edges     int    `json:"edges"`
+	Semiring  string `json:"semiring"`
+	Backend   string `json:"backend"`
+	Workers   int    `json:"workers"`
+	NNZ       int    `json:"nnz"`
+	BuildNs   int64  `json:"build_ns"`
+}
+
+// jsonBaseline is the schema of the committed BENCH_*.json trajectory
+// files: enough environment context to compare runs, one row per
+// configuration.
+type jsonBaseline struct {
+	Timestamp  string    `json:"timestamp"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Seed       int64     `json:"seed"`
+	Rows       []jsonRow `json:"rows"`
+}
 
 func main() {
 	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | sweep")
@@ -35,6 +61,8 @@ func main() {
 	backend := flag.String("backend", "", "single backend (default: all)")
 	workers := flag.Int("workers", 0, "parallel backend workers (0 = all cores)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	jsonPath := flag.String("json", "", "also write results as JSON to this path")
+	reps := flag.Int("reps", 1, "repetitions per configuration (fastest kept)")
 	flag.Parse()
 
 	if _, ok := semiring.Lookup(*sr); !ok {
@@ -43,6 +71,7 @@ func main() {
 	}
 
 	var rows [][]string
+	var jrows []jsonRow
 	run := func(name string, g *graph.Graph) {
 		backends := []core.Backend{core.BackendCSR, core.BackendParallel, core.BackendTStore}
 		if *backend != "" {
@@ -55,15 +84,21 @@ func main() {
 			os.Exit(1)
 		}
 		for _, b := range backends {
-			start := time.Now()
-			res, err := core.Build(core.Request{
-				Eout: eout, Ein: ein, Semiring: *sr, Backend: b, Workers: *workers,
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "graphbench:", err)
-				os.Exit(1)
+			var res *core.Result
+			var elapsed time.Duration
+			for rep := 0; rep < *reps || rep == 0; rep++ {
+				start := time.Now()
+				r, err := core.Build(core.Request{
+					Eout: eout, Ein: ein, Semiring: *sr, Backend: b, Workers: *workers,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "graphbench:", err)
+					os.Exit(1)
+				}
+				if e := time.Since(start); res == nil || e < elapsed {
+					res, elapsed = r, e
+				}
 			}
-			elapsed := time.Since(start)
 			rows = append(rows, []string{
 				name,
 				fmt.Sprint(g.Vertices().Len()),
@@ -73,6 +108,16 @@ func main() {
 				fmt.Sprint(*workers),
 				fmt.Sprint(res.Adjacency.NNZ()),
 				elapsed.Round(10 * time.Microsecond).String(),
+			})
+			jrows = append(jrows, jsonRow{
+				Generator: name,
+				Vertices:  g.Vertices().Len(),
+				Edges:     g.NumEdges(),
+				Semiring:  *sr,
+				Backend:   string(b),
+				Workers:   *workers,
+				NNZ:       res.Adjacency.NNZ(),
+				BuildNs:   elapsed.Nanoseconds(),
 			})
 		}
 	}
@@ -100,4 +145,25 @@ func main() {
 		[]string{"generator", "vertices", "edges", "semiring", "backend", "workers", "nnz", "build_time"},
 		rows,
 	))
+
+	if *jsonPath != "" {
+		baseline := jsonBaseline{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Seed:       *seed,
+			Rows:       jrows,
+		}
+		data, err := json.MarshalIndent(baseline, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench: marshal:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench: write:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "graphbench: wrote %s (%d rows)\n", *jsonPath, len(jrows))
+	}
 }

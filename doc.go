@@ -35,7 +35,21 @@
 //     validation, reverse graphs, and the constructive counterexample
 //     gadgets of Lemmas II.2–II.4;
 //   - the end-to-end Build pipeline with serial, parallel, streaming
-//     triple-store, and dense-verification backends.
+//     triple-store, sharded, and dense-verification backends.
+//
+// # Multiplication engine
+//
+// Array multiplication runs on a two-phase symbolic/numeric SpGEMM
+// engine: a stamp-only symbolic pass computes exact per-row output
+// sizes, the output arrays are allocated once, and the numeric pass
+// writes rows in place (in parallel when MulOptions.Workers > 1, with
+// no stitch step). MulOptions.Kernel selects an engine for ablation:
+// "twophase" (default), "gustavson" (append-grown single pass),
+// "hash", or "merge" (the oracle). Built-in scalar operator pairs
+// (e.g. "+.*") dispatch to monomorphized kernels with the arithmetic
+// inlined. Every kernel folds the contributions to an output entry in
+// ascending key order over the shared dimension, so all engines are
+// bit-identical even for non-commutative or non-associative ⊕.
 //
 // # Quick start
 //

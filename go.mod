@@ -1,0 +1,3 @@
+module adjarray
+
+go 1.23

@@ -196,6 +196,12 @@ func (a *Array[V]) Transpose() *Array[V] {
 	return &Array[V]{rows: a.cols, cols: a.rows, mat: a.mat.Transpose()}
 }
 
+// TransposeParallel is Transpose with the storage scatter parallelized
+// across workers (< 1 selects GOMAXPROCS); identical result.
+func (a *Array[V]) TransposeParallel(workers int) *Array[V] {
+	return &Array[V]{rows: a.cols, cols: a.rows, mat: sparse.TransposeParallel(a.mat, workers)}
+}
+
 // RowDegrees returns the stored-entry count per row key.
 func (a *Array[V]) RowDegrees() map[string]int {
 	out := make(map[string]int, a.rows.Len())

@@ -10,13 +10,14 @@ import (
 
 // MulOptions tunes array multiplication.
 type MulOptions struct {
-	// Workers selects the parallel Gustavson kernel when > 1 (or < 0
+	// Workers selects the parallel two-phase kernel when > 1 (or < 0
 	// for GOMAXPROCS); 0 or 1 runs serially.
 	Workers int
 	// Grain is the parallel row-block size; <= 0 picks automatically.
 	Grain int
 	// Kernel optionally forces a specific SpGEMM variant for ablation:
-	// "gustavson" (default), "hash", "merge".
+	// "twophase" (the default symbolic/numeric engine), "gustavson",
+	// "hash", "merge".
 	Kernel string
 }
 
@@ -33,16 +34,26 @@ func Mul[V any](a, b *Array[V], ops semiring.Ops[V], opt MulOptions) (*Array[V],
 	am, bm := a.mat, b.mat
 	if !a.cols.Equal(b.rows) {
 		shared := a.cols.Intersect(b.rows)
-		_, aColIdx := a.cols.Select(keys.InSet{Set: shared})
-		_, bRowIdx := b.rows.Select(keys.InSet{Set: shared})
-		var err error
-		am, err = am.ExtractCols(aColIdx)
-		if err != nil {
-			return nil, fmt.Errorf("assoc: align lhs: %w", err)
+		// Extract only the side whose keys actually shrink: when the
+		// shared dimension already is one side's full key set (the
+		// common case — e.g. incidence arrays sharing their edge keys
+		// with a few extras on one side), that side's matrix is used
+		// as-is and no copy is made.
+		if !shared.Equal(a.cols) {
+			_, aColIdx := a.cols.Select(keys.InSet{Set: shared})
+			var err error
+			am, err = am.ExtractCols(aColIdx)
+			if err != nil {
+				return nil, fmt.Errorf("assoc: align lhs: %w", err)
+			}
 		}
-		bm, err = bm.ExtractRows(bRowIdx)
-		if err != nil {
-			return nil, fmt.Errorf("assoc: align rhs: %w", err)
+		if !shared.Equal(b.rows) {
+			_, bRowIdx := b.rows.Select(keys.InSet{Set: shared})
+			var err error
+			bm, err = bm.ExtractRows(bRowIdx)
+			if err != nil {
+				return nil, fmt.Errorf("assoc: align rhs: %w", err)
+			}
 		}
 	}
 	var cm *sparse.CSR[V]
@@ -54,8 +65,10 @@ func Mul[V any](a, b *Array[V], ops semiring.Ops[V], opt MulOptions) (*Array[V],
 		cm, err = sparse.MulHash(am, bm, ops)
 	case opt.Kernel == "merge":
 		cm, err = sparse.MulMerge(am, bm, ops)
-	case opt.Kernel == "" || opt.Kernel == "gustavson":
+	case opt.Kernel == "gustavson":
 		cm, err = sparse.MulGustavson(am, bm, ops)
+	case opt.Kernel == "" || opt.Kernel == "twophase":
+		cm, err = sparse.MulTwoPhase(am, bm, ops)
 	default:
 		return nil, fmt.Errorf("assoc: unknown kernel %q", opt.Kernel)
 	}
@@ -69,8 +82,16 @@ func Mul[V any](a, b *Array[V], ops semiring.Ops[V], opt MulOptions) (*Array[V],
 // (Figures 3 and 5 captions: "this correlation is performed using the
 // transpose operation T and the array multiplication ⊕.⊗"). The result
 // relates A's column keys to B's column keys through the shared row keys.
+// When opt requests parallelism, the transpose runs on the parallel
+// scatter kernel too.
 func Correlate[V any](a, b *Array[V], ops semiring.Ops[V], opt MulOptions) (*Array[V], error) {
-	return Mul(a.Transpose(), b, ops, opt)
+	var at *Array[V]
+	if opt.Workers > 1 || opt.Workers < 0 {
+		at = a.TransposeParallel(opt.Workers)
+	} else {
+		at = a.Transpose()
+	}
+	return Mul(at, b, ops, opt)
 }
 
 // Add computes the element-wise A ⊕ B over the union of key sets:

@@ -26,8 +26,8 @@ type Backend string
 
 // Available backends.
 const (
-	BackendCSR      Backend = "csr"      // serial Gustavson SpGEMM
-	BackendParallel Backend = "parallel" // row-blocked parallel SpGEMM
+	BackendCSR      Backend = "csr"      // serial two-phase symbolic/numeric SpGEMM
+	BackendParallel Backend = "parallel" // row-blocked parallel two-phase SpGEMM
 	BackendTStore   Backend = "tstore"   // streaming server-side TableMult
 	BackendDense    Backend = "dense"    // literal Definition I.3 (verification)
 	BackendSharded  Backend = "sharded"  // edge-sharded partial products (requires associative ⊕)
@@ -105,7 +105,7 @@ func Build(req Request) (*Result, error) {
 	var err error
 	switch req.Backend {
 	case BackendCSR, "":
-		a, err = graph.Adjacency(req.Eout, req.Ein, ops, assoc.MulOptions{})
+		a, err = graph.Adjacency(req.Eout, req.Ein, ops, assoc.MulOptions{Kernel: "twophase"})
 	case BackendParallel:
 		a, err = graph.Adjacency(req.Eout, req.Ein, ops, assoc.MulOptions{Workers: workersOrAll(req.Workers)})
 	case BackendTStore:
@@ -122,6 +122,7 @@ func Build(req Request) (*Result, error) {
 		}
 		a, err = shard.Construct(req.Eout, req.Ein, ops, shard.Options{
 			Shards: shards, Workers: req.Workers, CheckAssociative: true,
+			Mul: assoc.MulOptions{Kernel: "twophase"},
 		})
 	default:
 		return res, fmt.Errorf("core: unknown backend %q", req.Backend)

@@ -275,3 +275,67 @@ func TestStringTruncates(t *testing.T) {
 		t.Errorf("short String = %q", short)
 	}
 }
+
+// The reverse index is lazy: Index must work (and be consistent with
+// the key order) on Sets produced by every constructor and set
+// operation, including concurrent first use.
+func TestLazyIndexConsistency(t *testing.T) {
+	sets := []*Set{
+		New("d", "b", "a", "c"),
+		New("a", "x").Union(New("b", "y")),
+		New("a", "b", "c").Intersect(New("b", "c", "d")),
+	}
+	if sub, _ := New("p", "q", "r").Select(Prefix{P: "q"}); true {
+		sets = append(sets, sub)
+	}
+	for n, s := range sets {
+		done := make(chan bool)
+		for w := 0; w < 4; w++ {
+			go func() {
+				ok := true
+				for i := 0; i < s.Len(); i++ {
+					idx, present := s.Index(s.Key(i))
+					ok = ok && present && idx == i
+				}
+				done <- ok
+			}()
+		}
+		for w := 0; w < 4; w++ {
+			if !<-done {
+				t.Fatalf("set %d: lazy index inconsistent with key order", n)
+			}
+		}
+		if _, present := s.Index("zzz-missing"); present {
+			t.Fatalf("set %d: phantom key", n)
+		}
+	}
+}
+
+// Union and Intersect fast paths may return a shared Set; the result
+// must still be correct and Equal must recognise shared backing in O(1).
+func TestSetSharingFastPaths(t *testing.T) {
+	s := New("a", "b", "c")
+	empty := New()
+	if got := s.Union(empty); got != s {
+		t.Error("Union with empty should return the set itself")
+	}
+	if got := empty.Union(s); got != s {
+		t.Error("empty.Union(s) should return s")
+	}
+	if got := s.Intersect(s); got != s {
+		t.Error("self-intersection should return the set itself")
+	}
+	twin := New("a", "b", "c")
+	if !s.Equal(twin) || !twin.Equal(s) {
+		t.Error("equal-content sets must compare equal")
+	}
+	if got := s.Union(twin); !got.Equal(s) {
+		t.Error("union of equal sets wrong")
+	}
+	if got := s.Intersect(twin); !got.Equal(s) {
+		t.Error("intersection of equal sets wrong")
+	}
+	if s.Contains("zz") || !s.Contains("b") {
+		t.Error("binary-search Contains wrong")
+	}
+}

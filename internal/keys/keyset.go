@@ -4,20 +4,29 @@
 // selection ("Matlab-style notation to denote ranges of keys", Figure 1).
 //
 // Keys are strings under lexicographic order; a Set stores them sorted
-// and deduplicated with an O(1) reverse index. Sets are immutable after
-// construction and safe for concurrent readers.
+// and deduplicated with a lazily built O(1) reverse index. Sets are
+// immutable after construction and safe for concurrent readers.
 package keys
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Set is a finite totally-ordered set of string keys.
+//
+// The map-based reverse index is built lazily on the first Index call:
+// most intermediate Sets (Union/Intersect/Select results flowing
+// through multiplication alignment) are only ever iterated or compared,
+// and building a map per intermediate Set dominated allocation on the
+// construction path. Membership tests use binary search on the sorted
+// key slice, which needs no index at all.
 type Set struct {
-	keys  []string
-	index map[string]int
+	keys    []string
+	idxOnce sync.Once
+	index   map[string]int
 }
 
 // New builds a Set from arbitrary keys, sorting and deduplicating.
@@ -47,11 +56,19 @@ func FromSorted(ks []string) (*Set, error) {
 }
 
 func fromSortedUnique(ks []string) *Set {
-	idx := make(map[string]int, len(ks))
-	for i, k := range ks {
-		idx[k] = i
-	}
-	return &Set{keys: ks, index: idx}
+	return &Set{keys: ks}
+}
+
+// ensureIndex builds the reverse index exactly once. Safe for
+// concurrent readers: Sets are immutable apart from this memoization.
+func (s *Set) ensureIndex() {
+	s.idxOnce.Do(func() {
+		idx := make(map[string]int, len(s.keys))
+		for i, k := range s.keys {
+			idx[k] = i
+		}
+		s.index = idx
+	})
 }
 
 // Len returns the number of keys.
@@ -67,23 +84,34 @@ func (s *Set) Keys() []string {
 	return out
 }
 
-// Index returns the position of k and whether it is present.
+// Index returns the position of k and whether it is present. The first
+// call on a Set builds its reverse index; repeated lookups are O(1).
 func (s *Set) Index(k string) (int, bool) {
+	s.ensureIndex()
 	i, ok := s.index[k]
 	return i, ok
 }
 
-// Contains reports membership.
+// Contains reports membership by binary search — O(log n) without
+// forcing the reverse index into existence.
 func (s *Set) Contains(k string) bool {
-	_, ok := s.index[k]
-	return ok
+	i := sort.SearchStrings(s.keys, k)
+	return i < len(s.keys) && s.keys[i] == k
 }
 
 // Equal reports whether two sets hold the same keys in the same order
-// (which, both being sorted, is plain set equality).
+// (which, both being sorted, is plain set equality). Identical Sets and
+// Sets sharing a backing slice (as returned by the Union/Intersect fast
+// paths) compare in O(1).
 func (s *Set) Equal(t *Set) bool {
+	if s == t {
+		return true
+	}
 	if s.Len() != t.Len() {
 		return false
+	}
+	if len(s.keys) > 0 && &s.keys[0] == &t.keys[0] {
+		return true
 	}
 	for i, k := range s.keys {
 		if t.keys[i] != k {
@@ -93,8 +121,16 @@ func (s *Set) Equal(t *Set) bool {
 	return true
 }
 
-// Union returns the ordered union of two sets.
+// Union returns the ordered union of two sets. When one side is empty
+// or the sets are equal, the other Set is returned as-is (Sets are
+// immutable, so sharing is safe).
 func (s *Set) Union(t *Set) *Set {
+	if len(s.keys) == 0 {
+		return t
+	}
+	if len(t.keys) == 0 || s.Equal(t) {
+		return s
+	}
 	out := make([]string, 0, len(s.keys)+len(t.keys))
 	i, j := 0, 0
 	for i < len(s.keys) && j < len(t.keys) {
@@ -116,16 +152,25 @@ func (s *Set) Union(t *Set) *Set {
 	return fromSortedUnique(out)
 }
 
-// Intersect returns the ordered intersection of two sets.
+// Intersect returns the ordered intersection of two sets by a sorted
+// two-pointer merge — O(n+m) with no hashing. Equal sets (including
+// shared-backing ones) intersect to themselves in O(1).
 func (s *Set) Intersect(t *Set) *Set {
-	small, large := s, t
-	if small.Len() > large.Len() {
-		small, large = large, small
+	if s.Equal(t) {
+		return s
 	}
 	var out []string
-	for _, k := range small.keys {
-		if large.Contains(k) {
-			out = append(out, k)
+	i, j := 0, 0
+	for i < len(s.keys) && j < len(t.keys) {
+		switch {
+		case s.keys[i] < t.keys[j]:
+			i++
+		case s.keys[i] > t.keys[j]:
+			j++
+		default:
+			out = append(out, s.keys[i])
+			i++
+			j++
 		}
 	}
 	return fromSortedUnique(out)

@@ -67,6 +67,16 @@ func For(n, workers int, fn func(lo, hi int)) {
 // (hypersparse matrices) at the cost of more synchronization; the
 // BenchmarkParallelGrain ablation quantifies the trade-off.
 func ForGrain(n, workers, grain int, fn func(lo, hi int)) {
+	ForGrainWorker(n, workers, grain, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForGrainWorker is ForGrain exposing the identity of the worker
+// goroutine running each task as a stable index in [0, workers). Kernels
+// use it to pool per-worker scratch state (sparse accumulators) across
+// the many grain-tasks a worker executes, instead of allocating scratch
+// per task. Each worker index is owned by exactly one goroutine for the
+// whole call, so fn may touch worker-indexed state without locking.
+func ForGrainWorker(n, workers, grain int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -76,7 +86,7 @@ func ForGrain(n, workers, grain int, fn func(lo, hi int)) {
 	tasks := (n + grain - 1) / grain
 	w := Workers(workers, tasks)
 	if w == 1 {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	var next int64
@@ -94,7 +104,7 @@ func ForGrain(n, workers, grain int, fn func(lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for i := 0; i < w; i++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				t, ok := take()
@@ -106,9 +116,9 @@ func ForGrain(n, workers, grain int, fn func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				fn(lo, hi)
+				fn(worker, lo, hi)
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
 }

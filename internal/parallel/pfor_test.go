@@ -122,3 +122,35 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// ForGrainWorker: every index covered exactly once, worker ids stay in
+// [0, workers), and each worker id is owned by a single goroutine at a
+// time — the contract that lets kernels touch worker-indexed scratch
+// without locking. Ownership is checked with per-worker in-flight
+// counters: a task observing its worker id already in flight means two
+// goroutines shared the id concurrently.
+func TestForGrainWorkerCoverageAndOwnership(t *testing.T) {
+	for _, cfg := range [][3]int{{100, 4, 3}, {7, 16, 1}, {1000, 3, 17}, {5, 1, 2}} {
+		n, workers, grain := cfg[0], cfg[1], cfg[2]
+		covered := make([]int32, n)
+		inflight := make([]int32, workers)
+		ForGrainWorker(n, workers, grain, func(worker, lo, hi int) {
+			if worker < 0 || worker >= workers {
+				t.Errorf("worker id %d out of range", worker)
+				return
+			}
+			if atomic.AddInt32(&inflight[worker], 1) != 1 {
+				t.Errorf("worker id %d entered concurrently by two goroutines", worker)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+			atomic.AddInt32(&inflight[worker], -1)
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d workers=%d grain=%d: index %d covered %d times", n, workers, grain, i, c)
+			}
+		}
+	}
+}

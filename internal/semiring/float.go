@@ -30,7 +30,8 @@ func minF(a, b float64) float64 { return math.Min(a, b) }
 // non-negative reals: ⊕ aggregates all parallel edges, so adjacency
 // entries count/sum edge-weight products.
 func PlusTimes() Ops[float64] {
-	return Ops[float64]{Name: "+.*", Add: addF, Mul: mulF, Zero: 0, One: 1, Equal: value.Float64Equal}
+	return Ops[float64]{Name: "+.*", Add: addF, Mul: mulF, Zero: 0, One: 1, Equal: value.Float64Equal,
+		kernel: KernelPlusTimesF64}
 }
 
 // MaxTimes is max.× over the non-negative reals: selects the edge with

@@ -38,7 +38,34 @@ type Ops[V any] struct {
 	One V
 	// Equal reports value equality; it must at minimum recognise Zero.
 	Equal func(V, V) bool
+	// kernel names a specialized fused multiplication kernel for this
+	// pair. Only this package's constructors can set it (the field is
+	// unexported), so a specialized kernel is a sound promise about the
+	// pair's exact arithmetic, not a guess keyed on the display name.
+	kernel ScalarKernel
 }
+
+// ScalarKernel identifies a hand-monomorphized SpGEMM kernel for a
+// built-in operator pair. Go's gcshape stenciling leaves the generic
+// kernels calling ⊕/⊗ through closure fields — an indirect call per
+// flop — so the hot built-in pairs get dedicated kernels with the
+// arithmetic inlined. A specialized kernel must be bit-identical to the
+// generic path (same fold order, same pruning); the sparse package's
+// property tests enforce this.
+type ScalarKernel uint8
+
+// Available specialized kernels.
+const (
+	// KernelGeneric selects the generic closure-calling kernels.
+	KernelGeneric ScalarKernel = iota
+	// KernelPlusTimesF64 is the canonical arithmetic pair +.* over
+	// float64 (Add = +, Mul = ×, Zero = 0).
+	KernelPlusTimesF64
+)
+
+// Kernel returns the specialized-kernel hint for this pair
+// (KernelGeneric when none applies).
+func (o Ops[V]) Kernel() ScalarKernel { return o.kernel }
 
 // IsZero reports whether v is the algebra's 0 element.
 func (o Ops[V]) IsZero(v V) bool { return o.Equal(v, o.Zero) }

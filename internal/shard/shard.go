@@ -41,6 +41,10 @@ type Options struct {
 	// incidence values before constructing and fails fast if the
 	// re-associated merge could diverge from the sequential fold.
 	CheckAssociative bool
+	// Mul tunes the per-shard partial-product multiplication (kernel
+	// selection; per-shard Workers are forced to 1 since shards already
+	// run concurrently).
+	Mul assoc.MulOptions
 }
 
 // Construct computes A = Eoutᵀ ⊕.⊗ Ein by edge-sharded partial
@@ -83,6 +87,8 @@ func Construct[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V], opt Option
 
 	partials := make([]*assoc.Array[V], shards)
 	errs := make([]error, shards)
+	shardMul := opt.Mul
+	shardMul.Workers = 1 // shards already run concurrently
 	parallel.ForGrain(shards, opt.Workers, 1, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			b := bounds[s]
@@ -92,7 +98,7 @@ func Construct[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V], opt Option
 			sel := keys.Range{Lo: edgeKeys.Key(b[0]), Hi: edgeKeys.Key(b[1] - 1)}
 			subOut := eout.SubRef(sel, nil)
 			subIn := ein.SubRef(sel, nil)
-			partials[s], errs[s] = assoc.Correlate(subOut, subIn, ops, assoc.MulOptions{})
+			partials[s], errs[s] = assoc.Correlate(subOut, subIn, ops, shardMul)
 		}
 	})
 	for _, err := range errs {

@@ -1,0 +1,135 @@
+package sparse
+
+// Kernel-level ablation benchmarks for the two-phase engine design
+// choices. The repo-root bench_test.go measures the same kernels on
+// graph-shaped workloads; these operate directly on random CSRs so the
+// effects are isolated from incidence construction.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adjarray/internal/semiring"
+)
+
+// benchMatrices builds an (n×n)·(n×n) multiplication workload with the
+// given density.
+func benchMatrices(n int, density float64) (*CSR[float64], *CSR[float64]) {
+	r := rand.New(rand.NewSource(99))
+	return randomCSR(r, n, n, density), randomCSR(r, n, n, density)
+}
+
+// mulLegacy delegates to the frozen seed kernel (see legacy.go).
+func mulLegacy(a, b *CSR[float64], ops semiring.Ops[float64]) *CSR[float64] {
+	out, err := MulLegacy(a, b, ops)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// incidenceWorkload builds the adjacency-construction multiplication
+// shape Eoutᵀ·Ein without importing the dataset package (which would
+// cycle): n vertices, n·ef edges with power-law-biased endpoints, Eoutᵀ
+// as the n×(n·ef) left operand and Ein as the (n·ef)×n right operand
+// whose rows hold exactly one entry each.
+func incidenceWorkload(n, ef int) (*CSR[float64], *CSR[float64]) {
+	r := rand.New(rand.NewSource(37))
+	edges := n * ef
+	pick := func() int { // quadratic bias toward low vertex ids
+		f := r.Float64()
+		return int(f * f * float64(n))
+	}
+	cooA := NewCOO[float64](n, edges)
+	cooB := NewCOO[float64](edges, n)
+	for e := 0; e < edges; e++ {
+		cooA.MustAppend(pick(), e, 1)
+		cooB.MustAppend(e, pick(), 1)
+	}
+	return cooA.ToCSR(nil), cooB.ToCSR(nil)
+}
+
+// Ablation — symbolic/numeric two-phase with exact preallocation vs the
+// append-grown kernels: "legacy" is the seed kernel (append + sort
+// always + closure ops), "append" is MulGustavson after this PR (append
+// + adaptive emission), "twophase" is the production engine. legacy →
+// twophase is the pre-change → post-change comparison, measured in one
+// process so machine noise cancels. The "incidence" workloads are the
+// adjacency-construction shape of the root BenchmarkConstructionScaling.
+func BenchmarkSymbolicVsAppend(b *testing.B) {
+	type workload struct {
+		name string
+		a, c *CSR[float64]
+	}
+	var ws []workload
+	for _, n := range []int{256, 1024} {
+		a, c := benchMatrices(n, 16.0/float64(n)) // ~16 nnz per row
+		ws = append(ws, workload{fmt.Sprintf("n%d", n), a, c})
+	}
+	for _, scale := range []uint{10, 12} {
+		a, c := incidenceWorkload(1<<scale, 8)
+		ws = append(ws, workload{fmt.Sprintf("incidence-s%d", scale), a, c})
+	}
+	ops := semiring.PlusTimes()
+	for _, w := range ws {
+		b.Run(w.name+"/legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mulLegacy(w.a, w.c, ops)
+			}
+		})
+		b.Run(w.name+"/append", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := MulGustavson(w.a, w.c, ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/twophase", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := MulTwoPhase(w.a, w.c, ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation — adaptive dense flag-scan emission vs always sorting the
+// touched list. adaptiveSpanFactor = 0 forces the sort path for every
+// row, which is the pre-adaptive behaviour.
+func BenchmarkAdaptiveVsSort(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		n       int
+		density float64
+	}{
+		{"dense-rows", 512, 0.08},      // wide overlap: scan path wins
+		{"hypersparse", 4096, 0.00049}, // ~2 nnz/row: sort path retained
+	} {
+		a, c := benchMatrices(cfg.n, cfg.density)
+		ops := semiring.PlusTimes()
+		b.Run(cfg.name+"/sort-always", func(b *testing.B) {
+			old := adaptiveSpanFactor
+			adaptiveSpanFactor = 0
+			defer func() { adaptiveSpanFactor = old }()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := MulTwoPhase(a, c, ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(cfg.name+"/adaptive", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := MulTwoPhase(a, c, ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

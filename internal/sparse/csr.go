@@ -205,7 +205,13 @@ func (m *CSR[V]) ExtractRows(rows []int) (*CSR[V], error) {
 // renumbered 0..len(cols)-1 in the given order. cols must be strictly
 // increasing (keeping per-row column order intact without a sort).
 func (m *CSR[V]) ExtractCols(cols []int) (*CSR[V], error) {
-	remap := make(map[int]int, len(cols))
+	// Dense []int remap (-1 = dropped) instead of a hash map: the remap
+	// sits on the key-alignment hot path and a flat array lookup per
+	// stored entry is a constant-factor win over map access.
+	remap := make([]int, m.cols)
+	for j := range remap {
+		remap[j] = -1
+	}
 	for n, j := range cols {
 		if j < 0 || j >= m.cols {
 			return nil, fmt.Errorf("sparse: column %d out of range [0,%d)", j, m.cols)
@@ -220,7 +226,7 @@ func (m *CSR[V]) ExtractCols(cols []int) (*CSR[V], error) {
 	var val []V
 	for i := 0; i < m.rows; i++ {
 		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
-			if n, ok := remap[m.colIdx[p]]; ok {
+			if n := remap[m.colIdx[p]]; n >= 0 {
 				colIdx = append(colIdx, n)
 				val = append(val, m.val[p])
 			}

@@ -1,0 +1,53 @@
+package sparse
+
+import (
+	"sort"
+
+	"adjarray/internal/semiring"
+)
+
+// MulLegacy is the seed repository's Gustavson kernel, frozen verbatim:
+// append-grown output storage, an unconditional per-row sort of the
+// touched list, and ⊕/⊗ reached through the Ops closure fields. It is
+// retained as the pre-two-phase baseline arm of the ablation
+// benchmarks (BenchmarkSpGEMMVariants/legacy and
+// BenchmarkSymbolicVsAppend/*/legacy), so before/after numbers can be
+// measured in one process where machine noise cancels. Do not optimize
+// this function — its value is being frozen.
+func MulLegacy[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
+	if err := checkDims(a, b); err != nil {
+		return nil, err
+	}
+	out := newRowAppender[V](a.rows, b.cols)
+	acc := make([]V, b.cols)
+	stamp := make([]int, b.cols)
+	var touched []int
+	current := 0
+	for i := 0; i < a.rows; i++ {
+		current++
+		touched = touched[:0]
+		aCols, aVals := a.Row(i)
+		for p, k := range aCols {
+			av := aVals[p]
+			bCols, bVals := b.Row(k)
+			for q, j := range bCols {
+				prod := ops.Mul(av, bVals[q])
+				if stamp[j] != current {
+					stamp[j] = current
+					acc[j] = prod
+					touched = append(touched, j)
+				} else {
+					acc[j] = ops.Add(acc[j], prod)
+				}
+			}
+		}
+		sort.Ints(touched)
+		for _, j := range touched {
+			if !ops.IsZero(acc[j]) {
+				out.append(j, acc[j])
+			}
+		}
+		out.endRow()
+	}
+	return out.finish(), nil
+}

@@ -5,12 +5,17 @@ import (
 	"adjarray/internal/semiring"
 )
 
-// MulParallel is row-blocked parallel Gustavson SpGEMM: output rows are
-// partitioned into grain-sized tasks executed by a worker pool, each
-// with its own sparse accumulator, then stitched into one CSR. Because
+// MulParallel is the row-blocked parallel two-phase SpGEMM engine:
+// both the symbolic and numeric phases are partitioned into grain-sized
+// row tasks executed by a worker pool. After the parallel symbolic
+// phase, the per-row counts are prefix-summed into rowPtr and the
+// output arrays are allocated exactly once; numeric workers then write
+// their rows directly into the disjoint [rowPtr[i], rowPtr[i+1))
+// ranges — there is no stitch/copy step. Scratch accumulators are
+// pooled per worker (not per grain-task) via ForGrainWorker. Because
 // output rows are independent and each row's fold order is unchanged,
-// the result is bit-identical to MulGustavson for any ⊕, including
-// non-commutative ones.
+// the result is bit-identical to MulTwoPhase/MulGustavson for any ⊕,
+// including non-commutative ones.
 //
 // workers < 1 selects GOMAXPROCS. grain < 1 selects an automatic grain
 // of rows/(8·workers), clamped to at least 1 — small enough to balance
@@ -21,7 +26,7 @@ func MulParallel[V any](a, b *CSR[V], ops semiring.Ops[V], workers, grain int) (
 	}
 	w := parallel.Workers(workers, a.rows)
 	if w <= 1 || a.rows == 0 {
-		return MulGustavson(a, b, ops)
+		return MulTwoPhase(a, b, ops)
 	}
 	if grain < 1 {
 		grain = a.rows / (8 * w)
@@ -29,40 +34,52 @@ func MulParallel[V any](a, b *CSR[V], ops semiring.Ops[V], workers, grain int) (
 			grain = 1
 		}
 	}
-	tasks := (a.rows + grain - 1) / grain
-	blocks := make([]*rowAppender[V], tasks)
-	parallel.ForGrain(a.rows, w, grain, func(lo, hi int) {
-		out := newRowAppender[V](hi-lo, b.cols)
-		s := newSPA[V](b.cols)
-		for i := lo; i < hi; i++ {
-			gustavsonRow(a, b, ops, i, s, out)
-		}
-		blocks[lo/grain] = out
-	})
-	return stitch(a.rows, b.cols, blocks), nil
-}
 
-// stitch concatenates per-task row blocks into one CSR.
-func stitch[V any](rows, cols int, blocks []*rowAppender[V]) *CSR[V] {
-	nnz := 0
-	for _, blk := range blocks {
-		nnz += len(blk.colIdx)
-	}
-	rowPtr := make([]int, 1, rows+1)
-	colIdx := make([]int, 0, nnz)
-	val := make([]V, 0, nnz)
-	for _, blk := range blocks {
-		base := len(colIdx)
-		colIdx = append(colIdx, blk.colIdx...)
-		val = append(val, blk.val...)
-		for _, p := range blk.rowPtr[1:] {
-			rowPtr = append(rowPtr, base+p)
+	// Symbolic phase: exact per-row output counts, one stamp SPA per
+	// worker, rows written into disjoint rowPtr slots.
+	rowPtr := make([]int, a.rows+1)
+	syms := make([]*symbolicSPA, w)
+	parallel.ForGrainWorker(a.rows, w, grain, func(worker, lo, hi int) {
+		sym := syms[worker]
+		if sym == nil {
+			sym = newSymbolicSPA(b.cols)
+			syms[worker] = sym
 		}
+		for i := lo; i < hi; i++ {
+			rowPtr[i+1] = symbolicRow(a, b, i, sym)
+		}
+	})
+	for i := 0; i < a.rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
 	}
-	for len(rowPtr) < rows+1 {
-		rowPtr = append(rowPtr, len(colIdx))
-	}
-	return &CSR[V]{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}
+
+	// Exact single allocation of the output storage.
+	nnz := rowPtr[a.rows]
+	colIdx := make([]int, nnz)
+	val := make([]V, nnz)
+	rowLen := make([]int, a.rows)
+
+	// Numeric phase: workers fold values and write in place into their
+	// rows' preallocated ranges, reusing the symbolic stamp arrays as
+	// the SPA occupancy stamps.
+	rowFn := numericRowFor(ops)
+	spas := make([]*spa[V], w)
+	parallel.ForGrainWorker(a.rows, w, grain, func(worker, lo, hi int) {
+		s := spas[worker]
+		if s == nil {
+			s = &spa[V]{acc: make([]V, b.cols)}
+			if sym := syms[worker]; sym != nil {
+				s.stamp, s.current = sym.stamp, sym.current
+			} else {
+				s.stamp = make([]int, b.cols)
+			}
+			spas[worker] = s
+		}
+		for i := lo; i < hi; i++ {
+			rowLen[i] = rowFn(a, b, ops, i, s, colIdx[rowPtr[i]:rowPtr[i+1]], val[rowPtr[i]:rowPtr[i+1]])
+		}
+	})
+	return finalizeTwoPhase(a.rows, b.cols, rowPtr, rowLen, colIdx, val), nil
 }
 
 // TransposeParallel is Transpose with the scatter phase parallelized

@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"adjarray/internal/semiring"
@@ -21,10 +22,11 @@ import (
 // compares against: Theorem II.1 is precisely the condition under which
 // the sparse shortcut is sound for adjacency construction.
 
-// Mul multiplies a (m×k) by b (k×n) with the default (Gustavson) kernel
-// and prunes entries that fold to the algebra's zero.
+// Mul multiplies a (m×k) by b (k×n) with the default kernel — the
+// two-phase symbolic/numeric engine — and prunes entries that fold to
+// the algebra's zero.
 func Mul[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
-	return MulGustavson(a, b, ops)
+	return MulTwoPhase(a, b, ops)
 }
 
 func checkDims[V any](a, b *CSR[V]) error {
@@ -37,6 +39,8 @@ func checkDims[V any](a, b *CSR[V]) error {
 // MulGustavson is row-by-row SpGEMM with a dense scratch accumulator
 // (SPA): O(rows·flops) time, O(cols) scratch. The classical kernel of
 // Gustavson (1978) and the CSR workhorse in GraphBLAS implementations.
+// Output storage is append-grown; MulTwoPhase is the exact-preallocation
+// refinement and the production default.
 func MulGustavson[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
 	if err := checkDims(a, b); err != nil {
 		return nil, err
@@ -50,12 +54,15 @@ func MulGustavson[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
 }
 
 // spa is a sparse accumulator: dense value scratch plus an occupancy
-// stamp, reusable across rows without clearing.
+// stamp, reusable across rows without clearing. minJ/maxJ bound the
+// touched column span so emission can choose between a dense flag-scan
+// and sorting (see orderedTouched).
 type spa[V any] struct {
-	acc     []V
-	stamp   []int
-	current int
-	touched []int
+	acc        []V
+	stamp      []int
+	current    int
+	touched    []int
+	minJ, maxJ int
 }
 
 func newSPA[V any](cols int) *spa[V] {
@@ -65,28 +72,136 @@ func newSPA[V any](cols int) *spa[V] {
 func (s *spa[V]) reset() {
 	s.current++
 	s.touched = s.touched[:0]
+	s.minJ, s.maxJ = -1, -1
+}
+
+// accumulate folds row i of a·b into the SPA in ascending k order — the
+// Definition I.3 fold order every kernel must preserve. The CSR arrays
+// are indexed directly (rather than through Row) to keep the per-flop
+// cost down to the two algebra calls.
+func (s *spa[V]) accumulate(a, b *CSR[V], ops semiring.Ops[V], i int) {
+	bPtr, bCol, bVal := b.rowPtr, b.colIdx, b.val
+	acc, stamp, cur := s.acc, s.stamp, s.current
+	touched := s.touched
+	minJ, maxJ := s.minJ, s.maxJ
+	for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ { // ascending k: Definition I.3 fold order
+		k := a.colIdx[p]
+		av := a.val[p]
+		for q := bPtr[k]; q < bPtr[k+1]; q++ {
+			j := bCol[q]
+			prod := ops.Mul(av, bVal[q])
+			if stamp[j] != cur {
+				stamp[j] = cur
+				acc[j] = prod
+				touched = append(touched, j)
+				if minJ < 0 || j < minJ {
+					minJ = j
+				}
+				if j > maxJ {
+					maxJ = j
+				}
+			} else {
+				acc[j] = ops.Add(acc[j], prod)
+			}
+		}
+	}
+	s.touched = touched
+	s.minJ, s.maxJ = minJ, maxJ
+}
+
+// adaptiveSpanFactor scales the sort-cost model behind the adaptive
+// emission choice: a dense flag-scan of the touched span costs O(span)
+// while sorting the touched list costs O(t·log t), so the scan is
+// chosen when span ≤ factor·t·⌈log₂ t⌉. 0 disables the scan path
+// entirely (every row sorts) — the pre-adaptive behaviour, kept as a
+// package variable for the ablation benchmark.
+var adaptiveSpanFactor = 2
+
+// scanBeatsSort decides the adaptive emission strategy for a row with
+// touched count t spanning span columns.
+func scanBeatsSort(span, t int) bool {
+	f := adaptiveSpanFactor
+	return f > 0 && span <= f*t*bits.Len(uint(t))
+}
+
+// sortTouched sorts a touched list in place: straight insertion sort
+// (sortInts, shared with the masked kernel) for short hypersparse rows
+// — beating the general sort's pivot and partition machinery at that
+// size — and sort.Ints beyond.
+func sortTouched(xs []int) {
+	if len(xs) <= 24 {
+		sortInts(xs)
+		return
+	}
+	sort.Ints(xs)
+}
+
+// orderedTouched returns the touched columns in ascending order,
+// choosing adaptively between a dense flag-scan of [minJ, maxJ] (dense
+// rows: linear in the span, no sort) and sorting (hypersparse rows:
+// span much wider than the touched count). The choice only affects the
+// order entries are *emitted* in — the per-entry ⊕ fold already happened
+// in ascending-k order inside accumulate — so the non-commutative /
+// non-associative ⊕ contract is preserved either way.
+func (s *spa[V]) orderedTouched() []int {
+	t := len(s.touched)
+	if t <= 1 {
+		return s.touched
+	}
+	if scanBeatsSort(s.maxJ-s.minJ+1, t) {
+		// Rebuild the touched list in order by scanning the stamp over
+		// the span; reuses the touched backing array, so no allocation.
+		out := s.touched[:0]
+		for j := s.minJ; j <= s.maxJ; j++ {
+			if s.stamp[j] == s.current {
+				out = append(out, j)
+			}
+		}
+		s.touched = out
+		return out
+	}
+	sortTouched(s.touched)
+	return s.touched
+}
+
+// emit writes the accumulated row into dstCol/dstVal in ascending
+// column order, pruning algebraic zeros; it returns the entry count.
+// The scan strategy fuses ordering and emission into one pass over the
+// span; the sort strategy orders touched then emits.
+func (s *spa[V]) emit(ops semiring.Ops[V], dstCol []int, dstVal []V) int {
+	t := len(s.touched)
+	if t == 0 {
+		return 0
+	}
+	n := 0
+	if t > 1 && scanBeatsSort(s.maxJ-s.minJ+1, t) {
+		for j := s.minJ; j <= s.maxJ; j++ {
+			if s.stamp[j] == s.current {
+				if v := s.acc[j]; !ops.IsZero(v) {
+					dstCol[n] = j
+					dstVal[n] = v
+					n++
+				}
+			}
+		}
+		return n
+	}
+	sortTouched(s.touched)
+	for _, j := range s.touched {
+		if v := s.acc[j]; !ops.IsZero(v) {
+			dstCol[n] = j
+			dstVal[n] = v
+			n++
+		}
+	}
+	return n
 }
 
 // gustavsonRow computes one output row into out using the SPA.
 func gustavsonRow[V any](a, b *CSR[V], ops semiring.Ops[V], i int, s *spa[V], out *rowAppender[V]) {
 	s.reset()
-	aCols, aVals := a.Row(i)
-	for p, k := range aCols { // ascending k: Definition I.3 fold order
-		av := aVals[p]
-		bCols, bVals := b.Row(k)
-		for q, j := range bCols {
-			prod := ops.Mul(av, bVals[q])
-			if s.stamp[j] != s.current {
-				s.stamp[j] = s.current
-				s.acc[j] = prod
-				s.touched = append(s.touched, j)
-			} else {
-				s.acc[j] = ops.Add(s.acc[j], prod)
-			}
-		}
-	}
-	sort.Ints(s.touched)
-	for _, j := range s.touched {
+	s.accumulate(a, b, ops, i)
+	for _, j := range s.orderedTouched() {
 		if !ops.IsZero(s.acc[j]) {
 			out.append(j, s.acc[j])
 		}

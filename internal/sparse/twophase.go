@@ -1,0 +1,149 @@
+package sparse
+
+import (
+	"adjarray/internal/semiring"
+)
+
+// Two-phase symbolic/numeric SpGEMM — the production multiplication
+// engine. The GraphBLAS reference designs use this split because the
+// append-grown output and per-row sorting of the classical Gustavson
+// kernel dominate at scale:
+//
+//  1. Symbolic phase: a stamp-only SPA (no values, no ⊗/⊕ calls) counts
+//     the exact number of distinct output columns per row.
+//  2. The per-row counts are prefix-summed into rowPtr and colIdx/val
+//     are allocated exactly once at their final size.
+//  3. Numeric phase: the value fold runs row by row, writing each row's
+//     entries directly into its disjoint [rowPtr[i], rowPtr[i+1]) range.
+//
+// Entries that fold to the algebra's zero are pruned at emission, so a
+// row can end up shorter than its symbolic count; finalizeTwoPhase
+// compacts storage leftward in that (rare — it requires ⊕ folding
+// non-zeros to zero) case. The ascending-k fold order of Definition I.3
+// is preserved exactly: the symbolic phase never touches values and the
+// numeric phase folds identically to gustavsonRow.
+
+// symbolicSPA is the stamp-only accumulator of the symbolic phase.
+type symbolicSPA struct {
+	stamp   []int
+	current int
+}
+
+func newSymbolicSPA(cols int) *symbolicSPA {
+	return &symbolicSPA{stamp: make([]int, cols)}
+}
+
+// symbolicRow counts the distinct output columns of row i of a·b using
+// the stamp-only SPA. A row with a single inner key needs no stamping:
+// its output pattern is exactly that one b row, whose columns are
+// already distinct.
+func symbolicRow[V any](a, b *CSR[V], i int, s *symbolicSPA) int {
+	lo, hi := a.rowPtr[i], a.rowPtr[i+1]
+	if hi-lo == 1 {
+		k := a.colIdx[lo]
+		return b.rowPtr[k+1] - b.rowPtr[k]
+	}
+	s.current++
+	count := 0
+	cur := s.current
+	stamp := s.stamp
+	for _, k := range a.colIdx[lo:hi] {
+		for _, j := range b.colIdx[b.rowPtr[k]:b.rowPtr[k+1]] {
+			if stamp[j] != cur {
+				stamp[j] = cur
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// numericRow folds row i of a·b in the SPA and writes the surviving
+// (non-zero) entries in ascending column order into dstCol/dstVal,
+// returning how many were written. dst slices must have room for the
+// row's symbolic count.
+func numericRow[V any](a, b *CSR[V], ops semiring.Ops[V], i int, s *spa[V], dstCol []int, dstVal []V) int {
+	lo, hi := a.rowPtr[i], a.rowPtr[i+1]
+	if hi-lo == 1 {
+		// Single inner key: the row is av ⊗ (row k of b), already in
+		// ascending column order — no accumulator needed. Each entry is
+		// the one-term fold of Definition I.3, exactly as the SPA path
+		// would produce it.
+		k := a.colIdx[lo]
+		av := a.val[lo]
+		n := 0
+		for q := b.rowPtr[k]; q < b.rowPtr[k+1]; q++ {
+			v := ops.Mul(av, b.val[q])
+			if !ops.IsZero(v) {
+				dstCol[n] = b.colIdx[q]
+				dstVal[n] = v
+				n++
+			}
+		}
+		return n
+	}
+	s.reset()
+	s.accumulate(a, b, ops, i)
+	return s.emit(ops, dstCol, dstVal)
+}
+
+// finalizeTwoPhase assembles the CSR from the symbolically-sized
+// storage. rowPtr holds the symbolic (pre-prune) offsets and rowLen the
+// per-row counts actually written by the numeric phase. When no entry
+// was pruned the storage is already exact and is adopted as-is; else
+// rows are compacted leftward in place (each destination precedes its
+// source, so a single forward pass is safe) and the slices resliced —
+// still zero additional allocation.
+func finalizeTwoPhase[V any](rows, cols int, rowPtr, rowLen, colIdx []int, val []V) *CSR[V] {
+	pruned := false
+	for i := 0; i < rows; i++ {
+		if rowLen[i] != rowPtr[i+1]-rowPtr[i] {
+			pruned = true
+			break
+		}
+	}
+	if !pruned {
+		return &CSR[V]{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}
+	}
+	dst := 0
+	for i := 0; i < rows; i++ {
+		src := rowPtr[i]
+		n := rowLen[i]
+		if dst != src {
+			copy(colIdx[dst:dst+n], colIdx[src:src+n])
+			copy(val[dst:dst+n], val[src:src+n])
+		}
+		rowPtr[i] = dst
+		dst += n
+	}
+	rowPtr[rows] = dst
+	return &CSR[V]{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx[:dst], val: val[:dst]}
+}
+
+// MulTwoPhase is the serial two-phase symbolic/numeric SpGEMM kernel:
+// exact per-row counts, one exact allocation of the output arrays, then
+// an in-place numeric pass. Bit-identical to MulGustavson/MulMerge for
+// every ⊕, including non-commutative and non-associative ones.
+func MulTwoPhase[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
+	if err := checkDims(a, b); err != nil {
+		return nil, err
+	}
+	sym := newSymbolicSPA(b.cols)
+	rowPtr := make([]int, a.rows+1)
+	for i := 0; i < a.rows; i++ {
+		rowPtr[i+1] = symbolicRow(a, b, i, sym)
+	}
+	for i := 0; i < a.rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	nnz := rowPtr[a.rows]
+	colIdx := make([]int, nnz)
+	val := make([]V, nnz)
+	rowLen := make([]int, a.rows)
+	rowFn := numericRowFor(ops)
+	s := &spa[V]{acc: make([]V, b.cols), stamp: sym.stamp, current: sym.current}
+	for i := 0; i < a.rows; i++ {
+		rowLen[i] = rowFn(a, b, ops, i, s, colIdx[rowPtr[i]:rowPtr[i+1]], val[rowPtr[i]:rowPtr[i+1]])
+	}
+	return finalizeTwoPhase(a.rows, b.cols, rowPtr, rowLen, colIdx, val), nil
+}
