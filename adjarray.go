@@ -7,6 +7,7 @@ import (
 	"adjarray/internal/graph"
 	"adjarray/internal/keys"
 	"adjarray/internal/semiring"
+	"adjarray/internal/stream"
 	"adjarray/internal/value"
 )
 
@@ -224,6 +225,48 @@ const (
 // Theorem II.1 condition check (with gadget counterexample on failure),
 // construction on the selected backend, optional validation.
 func Build(req BuildRequest) (*BuildResult, error) { return core.Build(req) }
+
+// Incremental maintenance (streaming ingest).
+
+// StreamEdge is one ingested edge for a maintained adjacency view.
+type StreamEdge[V any] = stream.Edge[V]
+
+// StreamOptions tunes a maintained adjacency view (compaction cadence,
+// associativity guard, pending-fold budget).
+type StreamOptions = stream.Options
+
+// AdjacencyView maintains A = Eoutᵀ ⊕.⊗ Ein under continuous edge
+// ingest: appended batches apply via the delta identity
+// A ⊕= Eout[K′,:]ᵀ ⊕.⊗ Ein[K′,:] instead of full rebuilds.
+type AdjacencyView[V any] = stream.View[V]
+
+// AdjacencySnapshot is an immutable read view of an AdjacencyView.
+type AdjacencySnapshot[V any] = stream.Snapshot[V]
+
+// StreamStats summarizes a view's counters.
+type StreamStats = stream.Stats
+
+// NewAdjacencyView creates an empty maintained view.
+func NewAdjacencyView[V any](ops Ops[V], opt StreamOptions) *AdjacencyView[V] {
+	return stream.NewView(ops, opt)
+}
+
+// AdjacencyViewFromIncidence bootstraps a view from batch-built
+// incidence arrays; subsequent appends apply deltas on top.
+func AdjacencyViewFromIncidence[V any](eout, ein *Array[V], ops Ops[V], opt StreamOptions) (*AdjacencyView[V], error) {
+	return stream.FromIncidence(eout, ein, ops, opt)
+}
+
+// Ingest accumulates edge triples and feeds a maintained view — the
+// ingest-side counterpart of Build.
+type Ingest = core.Ingest
+
+// IngestOptions configures an Ingest accumulator.
+type IngestOptions = core.IngestOptions
+
+// NewIngest resolves the operator pair, checks the Theorem II.1
+// conditions, and returns an empty accumulator.
+func NewIngest(opt IngestOptions) (*Ingest, error) { return core.NewIngest(opt) }
 
 // Provenance multiplication (D4M CatKeyMul analogue).
 

@@ -1,0 +1,239 @@
+// Command adjserve maintains an adjacency array over a stream of edge
+// triples and answers queries against live snapshots — the paper's
+// construction A = Eoutᵀ ⊕.⊗ Ein run as a serving process instead of a
+// batch job.
+//
+// Edges arrive one per line on stdin (or -in file), whitespace-separated:
+//
+//	src dst [out [in]]         (edge keys auto-assigned in arrival order)
+//	key src dst [out [in]]     (with -keyed; keys must arrive ascending)
+//
+// Omitted weights default to the algebra's One (the unweighted
+// convention). Lines starting with '#' and blank lines are skipped.
+//
+// With -serve the process answers HTTP queries from live snapshots
+// while ingesting:
+//
+//	GET /stats              ingest counters (JSON)
+//	GET /at?src=a&dst=b     one adjacency entry
+//	GET /row?src=a          one row of the adjacency array
+//	GET /triples            the full adjacency as triples (small graphs)
+//
+// Usage:
+//
+//	generate_edges | adjserve -semiring +.* -serve :8080
+//	adjserve -in edges.tsv -keyed -semiring max.plus -batch 256
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"adjarray/internal/core"
+	"adjarray/internal/keys"
+	"adjarray/internal/stream"
+	"adjarray/internal/value"
+)
+
+func main() {
+	sr := flag.String("semiring", "+.*", "operator pair (registry name)")
+	in := flag.String("in", "-", "edge stream: file path or - for stdin")
+	keyed := flag.Bool("keyed", false, "lines carry an explicit leading edge key")
+	batch := flag.Int("batch", 512, "edges per delta batch")
+	compactEvery := flag.Int("compact-every", 0, "auto-Compact after this many batches (0 = never)")
+	check := flag.Bool("check", false, "sample the ⊕-associativity guard on every batch")
+	serve := flag.String("serve", "", "HTTP listen address for snapshot queries (e.g. :8080); empty = ingest only")
+	flushEvery := flag.Duration("flush-every", time.Second, "with -serve, flush partial batches at this interval so slow streams stay visible")
+	skip := flag.Bool("skip-condition-check", false, "accept pairs that fail the Theorem II.1 conditions")
+	flag.Parse()
+
+	ing, err := core.NewIngest(core.IngestOptions{
+		Semiring:  *sr,
+		BatchSize: *batch,
+		Stream: stream.Options{
+			CompactEvery:     *compactEvery,
+			CheckAssociative: *check,
+		},
+		SkipConditionCheck: *skip,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adjserve:", err)
+		os.Exit(1)
+	}
+
+	// The accumulator is not safe for concurrent Add/Flush, so the
+	// ingest loop and the periodic flusher share a mutex. Snapshot
+	// queries go straight to the View, which has its own locking.
+	var mu sync.Mutex
+	if *serve != "" {
+		go func() {
+			if err := http.ListenAndServe(*serve, handler(ing)); err != nil {
+				fmt.Fprintln(os.Stderr, "adjserve: serve:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "adjserve: serving snapshot queries on %s\n", *serve)
+		if *flushEvery > 0 {
+			go func() {
+				for range time.Tick(*flushEvery) {
+					mu.Lock()
+					err := ing.Flush()
+					mu.Unlock()
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "adjserve: flush:", err)
+						os.Exit(1)
+					}
+				}
+			}()
+		}
+	}
+
+	src := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adjserve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	start := time.Now()
+	lines, edges := 0, 0
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		lines++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseEdge(line, *keyed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adjserve: line %d: %v\n", lines, err)
+			os.Exit(1)
+		}
+		mu.Lock()
+		err = ing.Add(e)
+		mu.Unlock()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adjserve: line %d: %v\n", lines, err)
+			os.Exit(1)
+		}
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "adjserve: read:", err)
+		os.Exit(1)
+	}
+	mu.Lock()
+	_, err = ing.Snapshot() // flush + materialize for the final stats
+	mu.Unlock()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adjserve:", err)
+		os.Exit(1)
+	}
+
+	st := ing.View().Stats()
+	fmt.Fprintf(os.Stderr,
+		"adjserve: ingested %d edges in %v — %d out-vertices, %d in-vertices, %d adjacency entries (%d pending), exact=%v\n",
+		edges, time.Since(start).Round(time.Millisecond),
+		st.OutVertices, st.InVertices, st.AdjNNZ, st.PendingNNZ, st.Exact)
+
+	if *serve != "" {
+		fmt.Fprintln(os.Stderr, "adjserve: stream ended; still serving (interrupt to exit)")
+		select {}
+	}
+}
+
+// parseEdge splits one stream line into an Edge.
+func parseEdge(line string, keyed bool) (stream.Edge[float64], error) {
+	var e stream.Edge[float64]
+	f := strings.Fields(line)
+	if keyed {
+		if len(f) < 1 {
+			return e, fmt.Errorf("missing edge key")
+		}
+		e.Key, f = f[0], f[1:]
+	}
+	if len(f) < 2 {
+		return e, fmt.Errorf("want 'src dst [out [in]]', got %q", line)
+	}
+	e.Src, e.Dst = f[0], f[1]
+	var err error
+	if len(f) > 2 {
+		if e.Out, err = value.ParseFloat(f[2]); err != nil {
+			return e, fmt.Errorf("out weight: %w", err)
+		}
+	}
+	if len(f) > 3 {
+		if e.In, err = value.ParseFloat(f[3]); err != nil {
+			return e, fmt.Errorf("in weight: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// handler builds the snapshot-query mux. Every request takes its own
+// snapshot: O(1) unless appends happened since the last read, and never
+// blocked by ingest for longer than the pending fold.
+func handler(ing *core.Ingest) http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ing.View().Stats())
+	})
+	mux.HandleFunc("/at", func(w http.ResponseWriter, r *http.Request) {
+		src, dst := r.URL.Query().Get("src"), r.URL.Query().Get("dst")
+		if src == "" || dst == "" {
+			http.Error(w, "want ?src=...&dst=...", http.StatusBadRequest)
+			return
+		}
+		snap, err := ing.View().Snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		val, ok := snap.Adjacency.At(src, dst)
+		writeJSON(w, map[string]any{"src": src, "dst": dst, "value": val, "stored": ok, "epoch": snap.Epoch})
+	})
+	mux.HandleFunc("/row", func(w http.ResponseWriter, r *http.Request) {
+		src := r.URL.Query().Get("src")
+		if src == "" {
+			http.Error(w, "want ?src=...", http.StatusBadRequest)
+			return
+		}
+		snap, err := ing.View().Snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		row := map[string]float64{}
+		snap.Adjacency.SubRef(keys.Range{Lo: src, Hi: src}, nil).Iterate(func(_, d string, v float64) {
+			row[d] = v
+		})
+		writeJSON(w, map[string]any{"src": src, "row": row, "epoch": snap.Epoch})
+	})
+	mux.HandleFunc("/triples", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := ing.View().Snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"triples": snap.Adjacency.Triples(), "epoch": snap.Epoch, "exact": snap.Exact})
+	})
+	return mux
+}

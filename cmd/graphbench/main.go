@@ -9,7 +9,14 @@
 //	graphbench                       # default R-MAT sweep, all backends
 //	graphbench -gen er -n 2000 -p 0.002
 //	graphbench -gen rmat -scale 12 -ef 8 -backend parallel -workers 8
+//	graphbench -gen stream -scale 12 -deltas 100
 //	graphbench -json BENCH.json      # also write a machine-readable baseline
+//
+// The stream workload measures incremental maintenance: a warm
+// adjacency view absorbs -deltas batches of 1% fresh edges each, and
+// two rows come out — backend "stream_append" (mean wall time per
+// delta-batch Append) and "stream_rebuild" (what the same delta would
+// cost with a full Correlate rebuild at final size).
 package main
 
 import (
@@ -21,11 +28,13 @@ import (
 	"runtime"
 	"time"
 
+	"adjarray/internal/assoc"
 	"adjarray/internal/core"
 	"adjarray/internal/dataset"
 	"adjarray/internal/graph"
 	"adjarray/internal/render"
 	"adjarray/internal/semiring"
+	"adjarray/internal/stream"
 )
 
 // jsonRow is one configuration's result in the -json baseline file.
@@ -52,7 +61,8 @@ type jsonBaseline struct {
 }
 
 func main() {
-	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | sweep")
+	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | stream | sweep")
+	deltas := flag.Int("deltas", 100, "stream workload: number of 1%% delta batches")
 	scale := flag.Int("scale", 10, "R-MAT scale (2^scale vertices)")
 	ef := flag.Int("ef", 8, "R-MAT edge factor")
 	n := flag.Int("n", 1000, "Erdős–Rényi / bipartite vertex count")
@@ -122,6 +132,86 @@ func main() {
 		}
 	}
 
+	// runStream measures the incremental-maintenance arm: a warm view of
+	// g absorbs `deltas` batches of 1% fresh edges (endpoints resampled
+	// from the graph, keys continuing past the log). Row
+	// "stream_append" is the mean per-batch Append wall time; row
+	// "stream_rebuild" is one full Correlate at the final log size —
+	// what a rebuild-per-delta system would pay per batch.
+	runStream := func(name string, g *graph.Graph, deltas int) {
+		sg := rand.New(rand.NewSource(*seed + 1))
+		es := g.Edges()
+		per := len(es) / 100
+		if per == 0 {
+			per = 1
+		}
+		one := func(graph.Edge) float64 { return 1 }
+		eout, ein, err := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench:", err)
+			os.Exit(1)
+		}
+		entry, _ := semiring.Lookup(*sr)
+		v, err := stream.FromIncidence(eout, ein, entry.Ops, stream.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench:", err)
+			os.Exit(1)
+		}
+		seq := len(es)
+		batch := make([]stream.Edge[float64], per)
+		nextBatch := func() []stream.Edge[float64] {
+			for i := range batch {
+				e := es[sg.Intn(len(es))]
+				batch[i] = stream.Edge[float64]{Key: fmt.Sprintf("e%08d", seq), Src: e.Src, Dst: e.Dst, Out: 1, In: 1}
+				seq++
+			}
+			return batch
+		}
+		var appendTotal time.Duration
+		for d := 0; d < deltas; d++ {
+			b := nextBatch()
+			start := time.Now()
+			if err := v.Append(b); err != nil {
+				fmt.Fprintln(os.Stderr, "graphbench:", err)
+				os.Exit(1)
+			}
+			appendTotal += time.Since(start)
+		}
+		snap, err := v.Snapshot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench:", err)
+			os.Exit(1)
+		}
+		meanAppend := appendTotal / time.Duration(deltas)
+
+		var rebuild time.Duration
+		for rep := 0; rep < *reps || rep == 0; rep++ {
+			start := time.Now()
+			if _, err := assoc.Correlate(snap.Eout, snap.Ein, entry.Ops, assoc.MulOptions{}); err != nil {
+				fmt.Fprintln(os.Stderr, "graphbench:", err)
+				os.Exit(1)
+			}
+			if e := time.Since(start); rep == 0 || e < rebuild {
+				rebuild = e
+			}
+		}
+		for _, row := range []struct {
+			backend string
+			elapsed time.Duration
+		}{{"stream_append", meanAppend}, {"stream_rebuild", rebuild}} {
+			rows = append(rows, []string{
+				name, fmt.Sprint(g.Vertices().Len()), fmt.Sprint(snap.Edges), *sr,
+				row.backend, "1", fmt.Sprint(snap.Adjacency.NNZ()),
+				row.elapsed.Round(time.Microsecond).String(),
+			})
+			jrows = append(jrows, jsonRow{
+				Generator: name, Vertices: g.Vertices().Len(), Edges: snap.Edges,
+				Semiring: *sr, Backend: row.backend, Workers: 1,
+				NNZ: snap.Adjacency.NNZ(), BuildNs: row.elapsed.Nanoseconds(),
+			})
+		}
+	}
+
 	r := rand.New(rand.NewSource(*seed))
 	switch *gen {
 	case "rmat":
@@ -130,12 +220,15 @@ func main() {
 		run("er", dataset.ErdosRenyi(r, *n, *p))
 	case "bipartite":
 		run("bipartite", dataset.Bipartite(r, *n, *n, *n**ef))
+	case "stream":
+		runStream(fmt.Sprintf("rmat-s%d", *scale), dataset.RMAT(r, *scale, *ef), *deltas)
 	case "sweep":
 		for _, s := range []int{8, 10, 12} {
 			run(fmt.Sprintf("rmat-s%d", s), dataset.RMAT(r, s, *ef))
 		}
 		run("er", dataset.ErdosRenyi(r, *n, *p))
 		run("bipartite", dataset.Bipartite(r, *n, *n, 8**n))
+		runStream("rmat-s12", dataset.RMAT(rand.New(rand.NewSource(*seed)), 12, *ef), *deltas)
 	default:
 		fmt.Fprintf(os.Stderr, "graphbench: unknown generator %q\n", *gen)
 		os.Exit(2)

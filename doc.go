@@ -35,7 +35,32 @@
 //     validation, reverse graphs, and the constructive counterexample
 //     gadgets of Lemmas II.2–II.4;
 //   - the end-to-end Build pipeline with serial, parallel, streaming
-//     triple-store, sharded, and dense-verification backends.
+//     triple-store, sharded, and dense-verification backends;
+//   - incremental maintenance: AdjacencyView keeps A up to date under
+//     continuous edge ingest, and Ingest accumulates arriving triples
+//     into its delta batches.
+//
+// # Batch and incremental construction
+//
+// The edge dimension is the reduction dimension of the construction,
+// so an appended edge batch K′ contributes exactly one partial
+// product — the delta identity:
+//
+//	A ⊕= Eout[K′,:]ᵀ ⊕.⊗ Ein[K′,:]
+//
+// An AdjacencyView owns an append-only incidence log plus the current
+// adjacency and applies batches through this identity instead of
+// rebuilding; Snapshot returns immutable copy-on-write read views in
+// O(1). Edge keys must arrive in ascending order, which keeps the
+// per-cell ⊕ fold ORDER equal to the sequential Definition I.3 fold —
+// incremental folding only re-groups it, so the maintained state equals
+// the one-shot construction exactly when ⊕ is associative on the data
+// (sampled by StreamOptions.CheckAssociative; see the paper's companion
+// work on algebraic conditions for generating accurate adjacency
+// arrays). For non-associative ⊕, Snapshot.Exact reports the possible
+// divergence and Compact rebuilds the exact fold from the log. The
+// offline sharded backend and the online view share one partial-product
+// engine (internal/shard): one implementation, two drivers.
 //
 // # Multiplication engine
 //

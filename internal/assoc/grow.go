@@ -1,0 +1,209 @@
+package assoc
+
+import (
+	"fmt"
+
+	"adjarray/internal/keys"
+	"adjarray/internal/semiring"
+	"adjarray/internal/sparse"
+)
+
+// Grow/merge entry points. The batch constructors (FromTriples, New)
+// build whole arrays; a maintained adjacency view instead grows an
+// append-only incidence log row batch by row batch and ⊕-folds small
+// delta products into a large accumulator. These paths reuse existing
+// key sets and CSR backing wherever possible instead of re-sorting and
+// re-allocating per batch (see internal/stream for the driver).
+
+// AppendRows stacks extra's rows below a's. extra's row keys must all
+// sort strictly after a's last row key — the append-only discipline of a
+// monotone edge-key log, which keeps the combined key set sorted without
+// a re-sort and keeps the row order equal to arrival order (so a later
+// sequential fold over rows replays contributions in ingest order).
+//
+// Column key sets may differ; the result's column set is the union, with
+// both sides' column indices remapped by offset (no string hashing).
+// When reuse is true, a's row-key and CSR backing grow with append
+// semantics: only the latest array in an append chain may be extended
+// further, but earlier arrays in the chain remain valid reads.
+func (a *Array[V]) AppendRows(extra *Array[V], reuse bool) (*Array[V], error) {
+	if extra.rows.Len() == 0 {
+		return a, nil
+	}
+	rows, err := a.rows.AppendSorted(extra.rows.Keys()...)
+	if err != nil {
+		return nil, fmt.Errorf("assoc: AppendRows: %w", err)
+	}
+	cols, aPos, ePos := unionFast(a.cols, extra.cols)
+	am, err := sparse.Embed(a.mat, nil, aPos, a.rows.Len(), cols.Len())
+	if err != nil {
+		return nil, fmt.Errorf("assoc: AppendRows lhs embed: %w", err)
+	}
+	em, err := sparse.Embed(extra.mat, nil, ePos, extra.rows.Len(), cols.Len())
+	if err != nil {
+		return nil, fmt.Errorf("assoc: AppendRows rhs embed: %w", err)
+	}
+	// Reuse is only sound when the left embed shared a's storage: a
+	// column remap already copied colIdx, so appending to it cannot
+	// clobber a's backing, but it also means there is nothing to reuse.
+	m, err := sparse.AppendRows(am, em, reuse && aPos == nil)
+	if err != nil {
+		return nil, fmt.Errorf("assoc: AppendRows: %w", err)
+	}
+	return &Array[V]{rows: rows, cols: cols, mat: m}, nil
+}
+
+// AppendUnitRows appends one single-entry row per element of rowKeys:
+// row rowKeys[i] holds value vals[i] at column position colPos[i] of a's
+// existing column key set. It is the fused fast path of AppendRows for
+// incidence-log ingest where the batch's vertices are already resolved
+// against the log's column set — no delta array is constructed and the
+// column set is shared untouched. rowKeys must be strictly increasing
+// and sort after a's last row key; backing grows with append semantics
+// (only the latest array in a chain may be extended further).
+func (a *Array[V]) AppendUnitRows(rowKeys []string, colPos []int, vals []V) (*Array[V], error) {
+	rows, err := a.rows.AppendSorted(rowKeys...)
+	if err != nil {
+		return nil, fmt.Errorf("assoc: AppendUnitRows: %w", err)
+	}
+	m, err := sparse.AppendUnitRows(a.mat, colPos, vals, true)
+	if err != nil {
+		return nil, fmt.Errorf("assoc: AppendUnitRows: %w", err)
+	}
+	return &Array[V]{rows: rows, cols: a.cols, mat: m}, nil
+}
+
+// GrowCols returns a with its column key set grown to the union with
+// extra, plus the position maps of the growth: oldPos maps a's current
+// column indices into the union (nil = identity — a's columns kept
+// their indices), extraPos maps extra's indices (nil = identity).
+// Values are never copied; when new columns interleave with existing
+// ones the stored column indices are remapped (O(nnz)). The union is a
+// straight merge sweep — no hashing — so growing by a small batch
+// against a large set costs O(|a.cols| + |extra|) comparisons.
+func (a *Array[V]) GrowCols(extra *keys.Set) (grown *Array[V], oldPos, extraPos []int, err error) {
+	cols, aPos, ePos := a.cols.UnionOffsets(extra)
+	m, err := sparse.Embed(a.mat, nil, aPos, a.rows.Len(), cols.Len())
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("assoc: GrowCols: %w", err)
+	}
+	return &Array[V]{rows: a.rows, cols: cols, mat: m}, aPos, ePos, nil
+}
+
+// AppendIncidencePair appends matched unit rows to an incidence-array
+// pair: row rowKeys[i] gains value outs[i] at column position outPos[i]
+// of eout and value ins[i] at inPos[i] of ein. The pair must share its
+// edge-key row set (the incidence-log invariant), and after the call it
+// shares one grown row chain — the edge keys are stored once, not once
+// per side, and the append-only discipline is validated once.
+func AppendIncidencePair[V any](eout, ein *Array[V], rowKeys []string, outPos, inPos []int, outs, ins []V) (*Array[V], *Array[V], error) {
+	if !eout.rows.Equal(ein.rows) {
+		return nil, nil, fmt.Errorf("assoc: AppendIncidencePair arrays disagree on edge keys")
+	}
+	rows, err := eout.rows.AppendSorted(rowKeys...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("assoc: AppendIncidencePair: %w", err)
+	}
+	mo, err := sparse.AppendUnitRows(eout.mat, outPos, outs, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("assoc: AppendIncidencePair out: %w", err)
+	}
+	mi, err := sparse.AppendUnitRows(ein.mat, inPos, ins, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("assoc: AppendIncidencePair in: %w", err)
+	}
+	return &Array[V]{rows: rows, cols: eout.cols, mat: mo}, &Array[V]{rows: rows, cols: ein.cols, mat: mi}, nil
+}
+
+// AddInto computes a ⊕= b over the union key space, with a's entries on
+// the left of every fold (a holds the earlier contributions). Key-set
+// growth uses sorted union-with-offsets and integer-index embedding
+// rather than the string-keyed Reindex path, and when inPlace is true
+// and b's pattern is a subset of a's (after alignment), a's value buffer
+// is folded in place and a itself returned — the zero-allocation
+// steady-state of delta maintenance.
+//
+// Callers passing inPlace must own a exclusively: no snapshot handed out
+// since a was last replaced may still be in use, and a must be treated as
+// consumed after the call (its storage may have been folded into the
+// result).
+func AddInto[V any](a, b *Array[V], ops semiring.Ops[V], inPlace bool) (*Array[V], error) {
+	return AddIntoScratch(a, b, ops, inPlace, nil)
+}
+
+// AddIntoScratch is AddInto with recycled output backing: when the merge
+// cannot run in place, the result steals the scratch's slices instead of
+// allocating (see sparse.MergeScratch), and — because inPlace marks a as
+// consumed — a's superseded storage is donated back to the scratch for
+// the next call. An accumulator merged into repeatedly (internal/stream's
+// overlay, internal/shard's partial fold) therefore ping-pongs between
+// two buffers and stops allocating in steady state.
+func AddIntoScratch[V any](a, b *Array[V], ops semiring.Ops[V], inPlace bool, scratch *sparse.MergeScratch[V]) (*Array[V], error) {
+	if b.NNZ() == 0 && b.rows.Len() == 0 && b.cols.Len() == 0 {
+		return a, nil
+	}
+	rows, aRowPos, bRowPos := unionFast(a.rows, b.rows)
+	cols, aColPos, bColPos := unionFast(a.cols, b.cols)
+	am, err := sparse.Embed(a.mat, aRowPos, aColPos, rows.Len(), cols.Len())
+	if err != nil {
+		return nil, fmt.Errorf("assoc: AddInto lhs embed: %w", err)
+	}
+	bm, err := sparse.Embed(b.mat, bRowPos, bColPos, rows.Len(), cols.Len())
+	if err != nil {
+		return nil, fmt.Errorf("assoc: AddInto rhs embed: %w", err)
+	}
+	// In-place is only meaningful when the embed shared a's value
+	// buffer unchanged — true whenever a's key sets already span the
+	// union (Embed never copies values, so am.val IS a.mat's buffer).
+	m, err := sparse.EWiseAddInto(am, bm, ops, inPlace, scratch)
+	if err != nil {
+		return nil, err
+	}
+	if m == am && am.Rows() == a.mat.Rows() && am.Cols() == a.mat.Cols() && aRowPos == nil && aColPos == nil {
+		// Nothing moved: the fold landed in a's own storage.
+		return a, nil
+	}
+	if scratch != nil && inPlace && m != am {
+		// The result is a full copy (scratch-backed), so consumed a's
+		// old storage is free — donate it for the next merge. (When
+		// m == am the result still aliases a's buffers: keep them.)
+		scratch.Recycle(a.mat)
+	}
+	return &Array[V]{rows: rows, cols: cols, mat: m}, nil
+}
+
+// unionFast is UnionOffsets preceded by the delta-maintenance fast path:
+// when b's keys all resolve in a's cached reverse index (the steady
+// state — a delta touching only known keys against a long-lived set),
+// the union IS a and only b's positions are produced, in O(len(b))
+// instead of a sweep over both sets.
+func unionFast(a, b *keys.Set) (u *keys.Set, aPos, bPos []int) {
+	if p, ok := b.PositionsIn(a); ok {
+		return a, nil, p
+	}
+	return a.UnionOffsets(b)
+}
+
+// EmbedInto returns a with its key sets grown to the given supersets
+// (every existing key must appear in the new sets, in the same relative
+// order they already have — supersets always satisfy this). It is the
+// fast integer-index form of Reindex for the grow-only case: values are
+// never copied, shared backing is reused where possible, and positions
+// resolve through the supersets' cached reverse indexes — O(len(a's
+// keys)) when the targets are long-lived sets (internal/stream embeds
+// every batch partial into the log's stable vertex universe this way).
+func (a *Array[V]) EmbedInto(rows, cols *keys.Set) (*Array[V], error) {
+	rowPos, ok := a.rows.PositionsIn(rows)
+	if !ok {
+		return nil, fmt.Errorf("assoc: EmbedInto target rows missing keys of a")
+	}
+	colPos, ok := a.cols.PositionsIn(cols)
+	if !ok {
+		return nil, fmt.Errorf("assoc: EmbedInto target cols missing keys of a")
+	}
+	m, err := sparse.Embed(a.mat, rowPos, colPos, rows.Len(), cols.Len())
+	if err != nil {
+		return nil, err
+	}
+	return &Array[V]{rows: rows, cols: cols, mat: m}, nil
+}

@@ -18,6 +18,12 @@ type MulOptions struct {
 	// Kernel optionally forces a specific SpGEMM variant for ablation:
 	// "twophase" (the default symbolic/numeric engine), "gustavson",
 	// "hash", "merge".
+	//
+	// Kernel and Workers interact: the parallel path always runs the
+	// two-phase engine, so requesting parallelism together with any
+	// other kernel is a conflicting ablation and Mul returns an error
+	// rather than silently dropping the kernel choice. "" and
+	// "twophase" compose with any Workers value.
 	Kernel string
 }
 
@@ -60,6 +66,10 @@ func Mul[V any](a, b *Array[V], ops semiring.Ops[V], opt MulOptions) (*Array[V],
 	var err error
 	switch {
 	case opt.Workers > 1 || opt.Workers < 0:
+		if opt.Kernel != "" && opt.Kernel != "twophase" {
+			return nil, fmt.Errorf("assoc: kernel %q requires serial execution; the parallel path (Workers=%d) always runs the two-phase engine — set Workers to 0 or 1 for kernel ablation",
+				opt.Kernel, opt.Workers)
+		}
 		cm, err = sparse.MulParallel(am, bm, ops, opt.Workers, opt.Grain)
 	case opt.Kernel == "hash":
 		cm, err = sparse.MulHash(am, bm, ops)
@@ -122,23 +132,25 @@ func ElementMul[V any](a, b *Array[V], ops semiring.Ops[V]) (*Array[V], error) {
 	return &Array[V]{rows: ar.rows, cols: ar.cols, mat: m}, nil
 }
 
-// alignUnion reindexes both operands into the union key space, with a
-// fast path when they are already aligned.
+// alignUnion embeds both operands into the union key space, with a fast
+// path when they are already aligned. Alignment is pure integer-index
+// embedding (keys.UnionOffsets + sparse.Embed): no string hashing, no
+// COO re-sort, and values are never copied.
 func alignUnion[V any](a, b *Array[V]) (*Array[V], *Array[V], error) {
 	if a.rows.Equal(b.rows) && a.cols.Equal(b.cols) {
 		return a, b, nil
 	}
-	rows := a.rows.Union(b.rows)
-	cols := a.cols.Union(b.cols)
-	ar, err := a.Reindex(rows, cols)
+	rows, aRowPos, bRowPos := a.rows.UnionOffsets(b.rows)
+	cols, aColPos, bColPos := a.cols.UnionOffsets(b.cols)
+	am, err := sparse.Embed(a.mat, aRowPos, aColPos, rows.Len(), cols.Len())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("assoc: align lhs: %w", err)
 	}
-	br, err := b.Reindex(rows, cols)
+	bm, err := sparse.Embed(b.mat, bRowPos, bColPos, rows.Len(), cols.Len())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("assoc: align rhs: %w", err)
 	}
-	return ar, br, nil
+	return &Array[V]{rows: rows, cols: cols, mat: am}, &Array[V]{rows: rows, cols: cols, mat: bm}, nil
 }
 
 // MulMasked computes (A ⊕.⊗ B) ∘ pattern(M) without materializing the

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"adjarray/internal/semiring"
+	"adjarray/internal/stream"
+	"adjarray/internal/value"
+)
+
+// Ingest is the ingest-side counterpart of Build: where Build constructs
+// an adjacency array once from complete incidence arrays, Ingest
+// accumulates edge triples as they arrive and feeds them in batches to a
+// maintained stream.View — the paper's construction kept continuously up
+// to date. It performs the same operator-pair resolution and Theorem
+// II.1 condition analysis as Build, up front, so a pair that cannot
+// guarantee an adjacency array is refused before any edge is accepted.
+type Ingest struct {
+	view  *stream.View[float64]
+	batch []stream.Edge[float64]
+	size  int
+	ops   semiring.Ops[float64]
+	rep   semiring.Report
+}
+
+// IngestOptions configures an Ingest accumulator.
+type IngestOptions struct {
+	// Semiring is the registry name of the operator pair, e.g. "+.*".
+	Semiring string
+	// BatchSize is how many edges buffer before an automatic flush into
+	// the view; <= 0 selects 512. Larger batches amortize per-batch
+	// costs, smaller ones shrink the window in which Add-ed edges are
+	// not yet visible to Snapshot.
+	BatchSize int
+	// Stream tunes the underlying view (compaction, associativity
+	// guard, pending budget).
+	Stream stream.Options
+	// SkipConditionCheck accepts operator pairs that fail the Theorem
+	// II.1 conditions (the Report is still available via Report()).
+	SkipConditionCheck bool
+}
+
+// NewIngest resolves the operator pair, runs the condition analysis, and
+// returns an empty accumulator.
+func NewIngest(opt IngestOptions) (*Ingest, error) {
+	entry, ok := semiring.Lookup(opt.Semiring)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown operator pair %q (known: %v)", opt.Semiring, semiring.Names())
+	}
+	report := semiring.Check(entry.Ops, entry.Sample, value.FormatFloat)
+	if !report.TheoremII1() && !opt.SkipConditionCheck {
+		return nil, fmt.Errorf("core: %s cannot guarantee an adjacency array: conditions fail on the sampled domain", entry.Ops.Name)
+	}
+	size := opt.BatchSize
+	if size <= 0 {
+		size = 512
+	}
+	return &Ingest{
+		view:  stream.NewView(entry.Ops, opt.Stream),
+		batch: make([]stream.Edge[float64], 0, size),
+		size:  size,
+		ops:   entry.Ops,
+		rep:   report,
+	}, nil
+}
+
+// Add buffers one edge; a full buffer flushes into the view. Edge keys
+// must arrive in strictly increasing order across the whole ingest (or
+// be left empty for auto-assignment — don't mix the two).
+func (in *Ingest) Add(e stream.Edge[float64]) error {
+	in.batch = append(in.batch, e)
+	if len(in.batch) >= in.size {
+		return in.Flush()
+	}
+	return nil
+}
+
+// Flush appends the buffered edges to the view as one delta batch. A
+// batch the view rejects (key-discipline violation, failed
+// associativity guard) is DROPPED with the returned error — the view
+// applies batches atomically, so none of its edges were ingested, and
+// keeping them buffered would wedge every subsequent Add on the same
+// failure.
+func (in *Ingest) Flush() error {
+	if len(in.batch) == 0 {
+		return nil
+	}
+	err := in.view.Append(in.batch)
+	in.batch = in.batch[:0]
+	return err
+}
+
+// Snapshot flushes and returns a consistent read view including every
+// edge Add-ed so far.
+func (in *Ingest) Snapshot() (stream.Snapshot[float64], error) {
+	if err := in.Flush(); err != nil {
+		return stream.Snapshot[float64]{}, err
+	}
+	return in.view.Snapshot()
+}
+
+// View exposes the maintained view (for Compact, Stats, or direct
+// Append of pre-batched edges). Edges still buffered in the accumulator
+// are not yet in the view; call Flush first when that matters.
+func (in *Ingest) View() *stream.View[float64] { return in.view }
+
+// Buffered reports how many Add-ed edges await the next flush.
+func (in *Ingest) Buffered() int { return len(in.batch) }
+
+// Ops returns the resolved operator pair.
+func (in *Ingest) Ops() semiring.Ops[float64] { return in.ops }
+
+// Report returns the Theorem II.1 condition analysis of the pair.
+func (in *Ingest) Report() semiring.Report { return in.rep }

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/stream"
+)
+
+// Ingest-accumulated triples produce the same adjacency as a one-shot
+// batch construction over the same edges.
+func TestIngestMatchesBuild(t *testing.T) {
+	ing, err := NewIngest(IngestOptions{Semiring: "+.*", BatchSize: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type edge struct{ src, dst string }
+	edges := []edge{
+		{"a", "b"}, {"a", "c"}, {"b", "c"}, {"c", "a"}, {"a", "b"},
+		{"b", "a"}, {"c", "b"}, {"a", "c"}, {"b", "c"}, {"c", "c"},
+	}
+	outT := make([]assoc.Triple[float64], len(edges))
+	inT := make([]assoc.Triple[float64], len(edges))
+	for i, e := range edges {
+		key := fmt.Sprintf("e%03d", i)
+		if err := ing.Add(stream.Edge[float64]{Key: key, Src: e.src, Dst: e.dst}); err != nil {
+			t.Fatal(err)
+		}
+		outT[i] = assoc.Triple[float64]{Row: key, Col: e.src, Val: 1}
+		inT[i] = assoc.Triple[float64]{Row: key, Col: e.dst, Val: 1}
+	}
+	if ing.Buffered() >= 7 {
+		t.Fatalf("accumulator did not auto-flush: %d buffered", ing.Buffered())
+	}
+	snap, err := ing.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Edges != len(edges) {
+		t.Fatalf("snapshot has %d edges, want %d", snap.Edges, len(edges))
+	}
+	res, err := Build(Request{Eout: assoc.FromTriples(outT, nil), Ein: assoc.FromTriples(inT, nil), Semiring: "+.*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Adjacency.Equal(res.Adjacency, func(a, b float64) bool { return a == b }) {
+		t.Error("ingest-maintained adjacency != batch Build")
+	}
+	if !ing.Report().TheoremII1() {
+		t.Error("+.* should satisfy the Theorem II.1 conditions")
+	}
+}
+
+func TestIngestRejectsUnknownPair(t *testing.T) {
+	if _, err := NewIngest(IngestOptions{Semiring: "no.such"}); err == nil {
+		t.Error("unknown pair accepted")
+	}
+}

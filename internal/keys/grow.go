@@ -1,0 +1,174 @@
+package keys
+
+import "fmt"
+
+// Growth entry points for append-only key logs and delta-batch merges.
+//
+// The batch constructors (New, FromSorted) re-sort or re-validate the
+// whole key slice; a maintained adjacency view appends small key batches
+// thousands of times, so these paths grow an existing Set without
+// touching (or re-sorting) the keys already present.
+
+// AppendSorted returns a Set holding s's keys followed by ks. ks must be
+// strictly increasing and its first key must sort after s's last key, so
+// the result is sorted without any re-sort — the append-only shape of a
+// monotone edge-key log.
+//
+// The backing slice grows with append semantics: across a chain of
+// AppendSorted calls the amortized cost is O(1) per key, and the prefix
+// may be shared with s (which remains valid — Sets never expose their
+// backing for mutation). Like Go's append, only the LATEST Set in a
+// chain may be extended further; appending twice to the same base Set is
+// undefined.
+func (s *Set) AppendSorted(ks ...string) (*Set, error) {
+	if len(ks) == 0 {
+		return s, nil
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			return nil, fmt.Errorf("keys: AppendSorted batch not strictly sorted at %d: %q >= %q", i, ks[i-1], ks[i])
+		}
+	}
+	if n := len(s.keys); n > 0 && s.keys[n-1] >= ks[0] {
+		return nil, fmt.Errorf("keys: AppendSorted key %q does not sort after existing %q", ks[0], s.keys[n-1])
+	}
+	grown := s.keys
+	if cap(grown)-len(grown) < len(ks) {
+		// Double on growth: the built-in append backs off to ~1.25x for
+		// large slices, which costs ~2.5x more copying across a log's
+		// lifetime of appends.
+		c := 2 * len(grown)
+		if c < len(grown)+len(ks) {
+			c = len(grown) + len(ks)
+		}
+		grown = make([]string, len(s.keys), c)
+		copy(grown, s.keys)
+	}
+	return fromSortedUnique(append(grown, ks...)), nil
+}
+
+// UnionOffsets returns u = s ∪ t together with position maps into u:
+// sPos[i] is the index in u of s.Key(i), tPos[j] the index in u of
+// t.Key(j). A nil position map means the identity (that side's keys
+// occupy the same indices in u) — the common steady-state case where a
+// delta batch introduces no new keys, which costs only the subset check.
+//
+// The maps are strictly increasing, which is exactly what sparse.Embed
+// needs to remap CSR coordinates without re-sorting rows.
+func (s *Set) UnionOffsets(t *Set) (u *Set, sPos, tPos []int) {
+	if t.Len() == 0 || s.Equal(t) {
+		return s, nil, nil
+	}
+	if s.Len() == 0 {
+		return t, nil, nil
+	}
+	// Subset fast paths: when one side's keys form a prefix-aligned
+	// subset the union is the other side verbatim.
+	if sub, pos := subsetPositions(t, s); sub {
+		if identity(pos) {
+			pos = nil
+		}
+		return s, nil, pos
+	}
+	if sub, pos := subsetPositions(s, t); sub {
+		if identity(pos) {
+			pos = nil
+		}
+		return t, pos, nil
+	}
+	out := make([]string, 0, len(s.keys)+len(t.keys))
+	sPos = make([]int, len(s.keys))
+	tPos = make([]int, len(t.keys))
+	i, j := 0, 0
+	for i < len(s.keys) && j < len(t.keys) {
+		switch {
+		case s.keys[i] < t.keys[j]:
+			sPos[i] = len(out)
+			out = append(out, s.keys[i])
+			i++
+		case s.keys[i] > t.keys[j]:
+			tPos[j] = len(out)
+			out = append(out, t.keys[j])
+			j++
+		default:
+			sPos[i] = len(out)
+			tPos[j] = len(out)
+			out = append(out, s.keys[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(s.keys); i++ {
+		sPos[i] = len(out)
+		out = append(out, s.keys[i])
+	}
+	for ; j < len(t.keys); j++ {
+		tPos[j] = len(out)
+		out = append(out, t.keys[j])
+	}
+	if identity(sPos) {
+		sPos = nil
+	}
+	return fromSortedUnique(out), sPos, tPos
+}
+
+// PositionsIn returns, for each key of s, its index in super — or
+// ok=false if any key of s is absent. Positions are strictly increasing;
+// nil positions with ok=true mean the identity (s equals super).
+//
+// Unlike UnionOffsets' merge sweep, this resolves through super's cached
+// reverse index: O(len(s)) map hits after the first call on super. It is
+// the steady-state path for delta batches resolving against a large,
+// long-lived key set (the incidence log's vertex columns, a maintained
+// adjacency's key space), where the super set object survives thousands
+// of batches and the walk over its full length would dominate.
+func (s *Set) PositionsIn(super *Set) ([]int, bool) {
+	if s.Equal(super) {
+		return nil, true
+	}
+	if s.Len() > super.Len() {
+		return nil, false
+	}
+	pos := make([]int, len(s.keys))
+	for i, k := range s.keys {
+		j, ok := super.Index(k)
+		if !ok {
+			return nil, false
+		}
+		pos[i] = j
+	}
+	if identity(pos) {
+		pos = nil
+	}
+	return pos, true
+}
+
+// subsetPositions reports whether every key of sub is present in super,
+// and if so where: pos[i] is the index in super of sub.Key(i).
+func subsetPositions(sub, super *Set) (bool, []int) {
+	if sub.Len() > super.Len() {
+		return false, nil
+	}
+	pos := make([]int, len(sub.keys))
+	j := 0
+	for i, k := range sub.keys {
+		for j < len(super.keys) && super.keys[j] < k {
+			j++
+		}
+		if j >= len(super.keys) || super.keys[j] != k {
+			return false, nil
+		}
+		pos[i] = j
+		j++
+	}
+	return true, pos
+}
+
+func identity(pos []int) bool {
+	for i, p := range pos {
+		if p != i {
+			return false
+		}
+	}
+	return true
+}

@@ -95,8 +95,16 @@ func (s *Set) Index(k string) (int, bool) {
 // Contains reports membership by binary search — O(log n) without
 // forcing the reverse index into existence.
 func (s *Set) Contains(k string) bool {
+	_, ok := s.IndexSorted(k)
+	return ok
+}
+
+// IndexSorted returns the position of k by binary search — O(log n)
+// without forcing the reverse index into existence; the right lookup for
+// short-lived Sets (delta batches) indexed only a handful of times.
+func (s *Set) IndexSorted(k string) (int, bool) {
 	i := sort.SearchStrings(s.keys, k)
-	return i < len(s.keys) && s.keys[i] == k
+	return i, i < len(s.keys) && s.keys[i] == k
 }
 
 // Equal reports whether two sets hold the same keys in the same order

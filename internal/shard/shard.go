@@ -19,10 +19,15 @@
 // registry is, but the paper's theorem does not require. Construct
 // verifies this hypothesis when Options.CheckAssociative is set, and
 // the package tests demonstrate the divergence for a non-associative ⊕.
+//
+// The partial-product-and-merge machinery itself lives in Engine and is
+// shared with internal/stream, which drives the same identity
+// incrementally: an appended edge batch K′ is exactly one shard.
 package shard
 
 import (
 	"fmt"
+	"runtime"
 
 	"adjarray/internal/assoc"
 	"adjarray/internal/keys"
@@ -32,10 +37,12 @@ import (
 
 // Options tunes the sharded construction.
 type Options struct {
-	// Shards is the number of edge-key partitions; < 1 selects 4.
+	// Shards is the number of edge-key partitions; < 1 selects
+	// GOMAXPROCS (one shard per available core).
 	Shards int
 	// Workers bounds concurrent shard evaluation; < 1 selects
-	// GOMAXPROCS.
+	// GOMAXPROCS. Normalized with internal/parallel.Workers, so it is
+	// also clamped to the shard count.
 	Workers int
 	// CheckAssociative, when set, samples ⊕ for associativity over the
 	// incidence values before constructing and fails fast if the
@@ -55,11 +62,14 @@ func Construct[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V], opt Option
 		return nil, fmt.Errorf("shard: incidence arrays disagree on edge keys")
 	}
 	if opt.Shards < 1 {
-		opt.Shards = 4
+		opt.Shards = runtime.GOMAXPROCS(0)
 	}
+	shardMul := opt.Mul
+	shardMul.Workers = 1 // shards already run concurrently
+	eng := Engine[V]{Ops: ops, Mul: shardMul}
 	if opt.CheckAssociative {
-		if err := checkAssociative(eout, ein, ops); err != nil {
-			return nil, err
+		if err := eng.CheckAssociative(eout, ein); err != nil {
+			return nil, fmt.Errorf("%w — use the row-blocked kernel instead", err)
 		}
 	}
 	edgeKeys := eout.RowKeys()
@@ -71,9 +81,59 @@ func Construct[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V], opt Option
 	if shards > n {
 		shards = n
 	}
+	workers := parallel.Workers(opt.Workers, shards)
 
-	// Partition the (sorted) edge keys into contiguous ranges so the
-	// shard merge order equals the ascending-key order.
+	bounds := partition(n, shards)
+	partials := make([]*assoc.Array[V], shards)
+	errs := make([]error, shards)
+	parallel.ForGrain(shards, workers, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			b := bounds[s]
+			if b[0] >= b[1] {
+				continue
+			}
+			sel := keys.Range{Lo: edgeKeys.Key(b[0]), Hi: edgeKeys.Key(b[1] - 1)}
+			partials[s], errs[s] = eng.Partial(eout.SubRef(sel, nil), ein.SubRef(sel, nil))
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Deterministic ascending-shard ⊕-merge through the shared engine.
+	// Every partial already spans the full output key space (SubRef
+	// keeps all columns), so the merges run on the aligned fast path;
+	// in-place is safe because the accumulator is a locally owned
+	// partial.
+	var acc *assoc.Array[V]
+	for _, p := range partials {
+		var err error
+		acc, err = eng.Merge(acc, p, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows := eout.ColKeys()
+	cols := ein.ColKeys()
+	if acc == nil {
+		acc, _ = assoc.FromTriples[V](nil, nil).Reindex(rows, cols)
+		return acc, nil
+	}
+	if !acc.RowKeys().Equal(rows) || !acc.ColKeys().Equal(cols) {
+		full, err := acc.EmbedInto(rows, cols)
+		if err != nil {
+			return nil, fmt.Errorf("shard: partial embed: %w", err)
+		}
+		acc = full
+	}
+	return acc, nil
+}
+
+// partition splits [0, n) into `shards` contiguous ranges so the shard
+// merge order equals the ascending-key order.
+func partition(n, shards int) [][2]int {
 	bounds := make([][2]int, shards)
 	per := (n + shards - 1) / shards
 	for s := range bounds {
@@ -84,99 +144,14 @@ func Construct[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V], opt Option
 		}
 		bounds[s] = [2]int{lo, hi}
 	}
-
-	partials := make([]*assoc.Array[V], shards)
-	errs := make([]error, shards)
-	shardMul := opt.Mul
-	shardMul.Workers = 1 // shards already run concurrently
-	parallel.ForGrain(shards, opt.Workers, 1, func(lo, hi int) {
-		for s := lo; s < hi; s++ {
-			b := bounds[s]
-			if b[0] >= b[1] {
-				continue
-			}
-			sel := keys.Range{Lo: edgeKeys.Key(b[0]), Hi: edgeKeys.Key(b[1] - 1)}
-			subOut := eout.SubRef(sel, nil)
-			subIn := ein.SubRef(sel, nil)
-			partials[s], errs[s] = assoc.Correlate(subOut, subIn, ops, shardMul)
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Deterministic ascending-shard ⊕-merge. Reindex onto the full
-	// output key space first so element-wise addition aligns.
-	rows := eout.ColKeys()
-	cols := ein.ColKeys()
-	var acc *assoc.Array[V]
-	for _, p := range partials {
-		if p == nil {
-			continue
-		}
-		full, err := p.Reindex(rows, cols)
-		if err != nil {
-			return nil, fmt.Errorf("shard: partial reindex: %w", err)
-		}
-		if acc == nil {
-			acc = full
-			continue
-		}
-		acc, err = assoc.Add(acc, full, ops)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if acc == nil {
-		acc, _ = assoc.FromTriples[V](nil, nil).Reindex(rows, cols)
-	}
-	return acc, nil
-}
-
-// checkAssociative samples ⊕ over triples of distinct values present in
-// the incidence arrays (plus identities) and reports the first
-// violation.
-func checkAssociative[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V]) error {
-	vals := sampleValues(eout, ein, 12)
-	for _, a := range vals {
-		for _, b := range vals {
-			for _, c := range vals {
-				left := ops.Add(ops.Add(a, b), c)
-				right := ops.Add(a, ops.Add(b, c))
-				if !ops.Equal(left, right) {
-					return fmt.Errorf("shard: ⊕ is not associative on the data (%v,%v,%v); "+
-						"sharded merge would diverge from the sequential fold — use the row-blocked kernel instead",
-						a, b, c)
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// sampleValues gathers up to max distinct stored values from both
-// arrays — the values ⊕ actually folds during the merge.
-func sampleValues[V any](eout, ein *assoc.Array[V], max int) []V {
-	var vals []V
-	collect := func(a *assoc.Array[V]) {
-		a.Iterate(func(_, _ string, v V) {
-			if len(vals) < max {
-				vals = append(vals, v)
-			}
-		})
-	}
-	collect(eout)
-	collect(ein)
-	return vals
+	return bounds
 }
 
 // Plan describes how Construct would partition a given edge-key set —
 // exposed for the CLI and tests.
 func Plan(edgeKeys *keys.Set, shards int) []string {
 	if shards < 1 {
-		shards = 4
+		shards = runtime.GOMAXPROCS(0)
 	}
 	n := edgeKeys.Len()
 	if shards > n {
@@ -185,19 +160,13 @@ func Plan(edgeKeys *keys.Set, shards int) []string {
 	if n == 0 {
 		return nil
 	}
-	per := (n + shards - 1) / shards
 	var out []string
-	for s := 0; s < shards; s++ {
-		lo := s * per
-		hi := lo + per
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
+	for s, b := range partition(n, shards) {
+		if b[0] >= b[1] {
 			break
 		}
 		out = append(out, fmt.Sprintf("shard %d: [%s … %s] (%d edges)",
-			s, edgeKeys.Key(lo), edgeKeys.Key(hi-1), hi-lo))
+			s, edgeKeys.Key(b[0]), edgeKeys.Key(b[1]-1), b[1]-b[0]))
 	}
 	return out
 }

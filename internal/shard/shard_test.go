@@ -1,7 +1,9 @@
 package shard
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -153,5 +155,41 @@ func TestPlan(t *testing.T) {
 	}
 	if got := Plan(ks, 0); len(got) == 0 {
 		t.Error("default shard count not applied")
+	}
+}
+
+// The default shard count tracks the machine (GOMAXPROCS), clamped to
+// the edge count, instead of a hardcoded constant.
+func TestDefaultShardsFollowGOMAXPROCS(t *testing.T) {
+	want := runtime.GOMAXPROCS(0)
+	n := 3 * want
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("e%04d", i)
+	}
+	plan := Plan(keys.New(ks...), 0)
+	if len(plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	per := (n + want - 1) / want
+	wantShards := (n + per - 1) / per
+	if len(plan) != wantShards {
+		t.Errorf("default plan has %d shards, want %d (GOMAXPROCS=%d)", len(plan), wantShards, want)
+	}
+	// And Construct accepts the default without error.
+	r := rand.New(rand.NewSource(3))
+	g := dataset.MultiEdge(r, 6, 20, 2)
+	eout, ein := incidenceFor(t, g, 1)
+	seq, err := assoc.Correlate(eout, ein, semiring.PlusTimes(), assoc.MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Construct(eout, ein, semiring.PlusTimes(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := got.SubRef(keys.InSet{Set: seq.RowKeys()}, keys.InSet{Set: seq.ColKeys()})
+	if !sub.Equal(seq, eqF) {
+		t.Error("default-option Construct diverges from sequential")
 	}
 }

@@ -56,10 +56,18 @@ func mulVariants() map[string]func(a, b *CSR[float64], ops semiring.Ops[float64]
 		"gustavson": MulGustavson[float64],
 		"hash":      MulHash[float64],
 		"twophase":  MulTwoPhase[float64],
-		"par2":      func(a, b *CSR[float64], o semiring.Ops[float64]) (*CSR[float64], error) { return MulParallel(a, b, o, 2, 0) },
-		"par4g1":    func(a, b *CSR[float64], o semiring.Ops[float64]) (*CSR[float64], error) { return MulParallel(a, b, o, 4, 1) },
-		"par3g7":    func(a, b *CSR[float64], o semiring.Ops[float64]) (*CSR[float64], error) { return MulParallel(a, b, o, 3, 7) },
-		"par8g2":    func(a, b *CSR[float64], o semiring.Ops[float64]) (*CSR[float64], error) { return MulParallel(a, b, o, 8, 2) },
+		"par2": func(a, b *CSR[float64], o semiring.Ops[float64]) (*CSR[float64], error) {
+			return MulParallel(a, b, o, 2, 0)
+		},
+		"par4g1": func(a, b *CSR[float64], o semiring.Ops[float64]) (*CSR[float64], error) {
+			return MulParallel(a, b, o, 4, 1)
+		},
+		"par3g7": func(a, b *CSR[float64], o semiring.Ops[float64]) (*CSR[float64], error) {
+			return MulParallel(a, b, o, 3, 7)
+		},
+		"par8g2": func(a, b *CSR[float64], o semiring.Ops[float64]) (*CSR[float64], error) {
+			return MulParallel(a, b, o, 8, 2)
+		},
 	}
 }
 

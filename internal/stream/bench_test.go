@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/dataset"
+	"adjarray/internal/semiring"
+)
+
+// s12Workload builds the scaling-experiment graph (R-MAT scale 12, edge
+// factor 8 — 4096 vertices, 32768 edges) split into a 99% base log and
+// a stream of 1% delta batches with monotonically continuing edge keys.
+func s12Workload(b *testing.B, deltas int) (baseOut, baseIn *assoc.Array[float64], batches [][]Edge[float64]) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	g := dataset.RMAT(r, 12, 8)
+	es := g.Edges()
+	per := len(es) / 100 // one percent
+	base := es[:len(es)-per]
+	delta := es[len(es)-per:]
+
+	outT := make([]assoc.Triple[float64], len(base))
+	inT := make([]assoc.Triple[float64], len(base))
+	for i, e := range base {
+		outT[i] = assoc.Triple[float64]{Row: e.Key, Col: e.Src, Val: 1}
+		inT[i] = assoc.Triple[float64]{Row: e.Key, Col: e.Dst, Val: 1}
+	}
+	baseOut = assoc.FromTriples(outT, nil)
+	baseIn = assoc.FromTriples(inT, nil)
+
+	// Delta batches replay the held-out 1% with fresh keys continuing
+	// past the log, re-sampling endpoints for batches beyond the first.
+	batches = make([][]Edge[float64], deltas)
+	seq := len(es)
+	for d := range batches {
+		batch := make([]Edge[float64], per)
+		for i := range batch {
+			var src, dst string
+			if d == 0 {
+				src, dst = delta[i].Src, delta[i].Dst
+			} else {
+				src, dst = delta[r.Intn(per)].Src, delta[r.Intn(per)].Dst
+			}
+			batch[i] = Edge[float64]{Key: fmt.Sprintf("e%08d", seq), Src: src, Dst: dst, Out: 1, In: 1}
+			seq++
+		}
+		batches[d] = batch
+	}
+	return baseOut, baseIn, batches
+}
+
+// BenchmarkStreamAppendS12 measures one 1% delta-batch Append against a
+// warm view of the s12 graph — the incremental arm of the acceptance
+// criterion. The log grows across iterations (appends are destructive),
+// which only makes the measured cost pessimistic.
+func BenchmarkStreamAppendS12(b *testing.B) {
+	baseOut, baseIn, batches := s12Workload(b, b.N)
+	v, err := FromIncidence(baseOut, baseIn, semiring.PlusTimes(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.Append(batches[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRebuildS12 is the batch arm: what serving the same delta
+// would cost with a full Correlate rebuild per batch.
+func BenchmarkFullRebuildS12(b *testing.B) {
+	baseOut, baseIn, batches := s12Workload(b, 1)
+	v, err := FromIncidence(baseOut, baseIn, semiring.PlusTimes(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := v.Append(batches[0]); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := v.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := assoc.Correlate(snap.Eout, snap.Ein, semiring.PlusTimes(), assoc.MulOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshot verifies the O(1) read-view claim.
+func BenchmarkSnapshot(b *testing.B) {
+	baseOut, baseIn, _ := s12Workload(b, 0)
+	v, err := FromIncidence(baseOut, baseIn, semiring.PlusTimes(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s, err := v.Snapshot(); err != nil || s.Edges == 0 {
+			b.Fatal("empty snapshot", err)
+		}
+	}
+}
+
+// BenchmarkIngestEndToEnd streams the whole s12 graph through Append in
+// 1% batches, the sustained-ingest figure.
+func BenchmarkIngestEndToEnd(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g := dataset.RMAT(r, 12, 8)
+	es := g.Edges()
+	per := len(es) / 100
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := NewView(semiring.PlusTimes(), Options{})
+		for lo := 0; lo < len(es); lo += per {
+			hi := lo + per
+			if hi > len(es) {
+				hi = len(es)
+			}
+			batch := make([]Edge[float64], hi-lo)
+			for j, e := range es[lo:hi] {
+				batch[j] = Edge[float64]{Key: e.Key, Src: e.Src, Dst: e.Dst}
+			}
+			if err := v.Append(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,849 @@
+// Package stream maintains an adjacency array under continuous edge
+// ingest — the paper's construction A = Eoutᵀ ⊕.⊗ Ein turned from a
+// batch computation into a served, incrementally updated state.
+//
+// The edge dimension is the reduction dimension of the construction, so
+// an appended edge batch K′ contributes exactly one shard-style partial
+// product:
+//
+//	A ⊕= Eout[K′,:]ᵀ ⊕.⊗ Ein[K′,:]
+//
+// (the delta identity). A View owns a pair of append-only incidence
+// arrays — the edge log — plus the current adjacency array, and applies
+// each batch through the shared partial-product engine in
+// internal/shard instead of rebuilding from scratch.
+//
+// Soundness hypothesis: folding a delta into already-folded state
+// re-associates the per-cell ⊕ fold — ((earlier edges) ⊕ (delta))
+// instead of the flat left-to-right fold over all edge keys. Because
+// edge keys are required to arrive in ascending order, the fold ORDER
+// is preserved and only the grouping changes, so the incremental state
+// equals the one-shot construction exactly when ⊕ is associative on the
+// data (the same hypothesis internal/shard checks, per the paper's
+// companion work on algebraic conditions). For a non-associative ⊕ the
+// view still ingests — deterministically — but may diverge from the
+// batch result; Compact rebuilds from the full log and recovers it.
+// Options.CheckAssociative samples the hypothesis on every append and
+// fails fast instead.
+//
+// Reads are served from Snapshots: immutable views that share CSR
+// backing with the live state (copy-on-write — an append never mutates
+// storage reachable from a handed-out snapshot), so taking one is O(1)
+// and snapshot readers never block ingest.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+	"sync"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/keys"
+	"adjarray/internal/semiring"
+	"adjarray/internal/shard"
+	"adjarray/internal/sparse"
+)
+
+// Edge is one ingested edge: key k, source, destination, and the two
+// incidence entry values Eout(k,Src) and Ein(k,Dst). A value equal to
+// the algebra's Zero (including the Go zero value for most pairs)
+// selects the algebra's One — the unweighted convention of Figure 1.
+type Edge[V any] struct {
+	Key, Src, Dst string
+	Out, In       V
+}
+
+// Options tunes a View.
+type Options struct {
+	// Mul tunes the per-batch partial products and Compact rebuilds.
+	Mul assoc.MulOptions
+	// CompactEvery, when > 0, triggers an automatic Compact after that
+	// many appends — bounding drift for non-associative ⊕ and re-packing
+	// storage. 0 disables auto-compaction.
+	CompactEvery int
+	// CheckAssociative, when set, samples ⊕ for associativity over each
+	// batch's values before accepting it and fails the Append if the
+	// re-associated fold could diverge (the shard.Engine guard).
+	CheckAssociative bool
+	// PendingBudget bounds the delta backlog: once this many pending
+	// contribution entries accumulate they are folded into the main
+	// adjacency. <= 0 selects max(4096, nnz(main)/4). Smaller budgets
+	// fold more eagerly (cheaper snapshots, costlier appends).
+	PendingBudget int
+}
+
+// View is a maintained adjacency array: an append-only incidence log
+// and the current A = Eoutᵀ ⊕.⊗ Ein, updated per batch by the delta
+// identity. All methods are safe for concurrent use; reads should go
+// through Snapshot, which never blocks on ingest more than the O(1)
+// bookkeeping under the lock (plus a pending fold when appends happened
+// since the last read).
+//
+// The adjacency is held in two levels, LSM-style: `main`, the
+// materialized array snapshots share, and a pending delta backlog —
+// each appended edge's contribution out⊗in recorded as an integer cell
+// coordinate plus value, in arrival order. An append therefore costs
+// O(batch) — not O(nnz(main)) — and the backlog is folded into main (one
+// sort + one ⊕-merge) only when it outgrows Options.PendingBudget or a
+// snapshot needs the materialized state. Level order is fold order:
+// main holds the earlier edge keys, so a fold re-associates but never
+// reorders contributions.
+//
+// The hot Append path is allocation-lean by construction: batch
+// vertices resolve against the log's cached reverse indexes to integer
+// positions, the log grows by single-entry CSR rows in place, and the
+// pending backlog is two flat slices. A batch that introduces vertices
+// unseen by the log takes the general array route instead (build delta
+// incidence arrays, engine partial product, ⊕-merge) — rare once a
+// workload's vertex universe saturates.
+type View[V any] struct {
+	mu  sync.Mutex
+	eng shard.Engine[V]
+	opt Options
+
+	eout, ein *assoc.Array[V] // append-only incidence log
+
+	main       *assoc.Array[V] // materialized adjacency (snapshots share it); always spans the log's vertex universe
+	pendCell   []int64         // pending contribution cells, row*C+col in universe coords, arrival order
+	pendVal    []V             // pending contribution values, parallel to pendCell
+	mainShared bool            // a Snapshot holds main's storage
+	mainScr    sparse.MergeScratch[V]
+
+	edges    int // rows in the log
+	appends  int // batches since the last compact
+	epoch    int // total batches ever applied
+	exact    bool
+	autoSeq  int    // generator for auto-assigned edge keys
+	autoBase string // prefix for auto keys; seeded past the log's last key
+
+	// lastSrc/lastDst are the column sets of the most recent fast
+	// append — the signal that the universe has stabilized and the
+	// sets' cached reverse indexes are worth building. While nil (after
+	// a slow append grew the universe) resolution binary-searches
+	// instead, so cold ingest never pays an O(universe) map build per
+	// batch.
+	lastSrc, lastDst *keys.Set
+
+	scr batchScratch[V] // per-append buffers, reused under mu
+}
+
+// batchScratch holds the fast path's per-append buffers. Append runs
+// under the view lock, so one set per view suffices; in steady state the
+// ingest path stops allocating.
+type batchScratch[V any] struct {
+	rowKeys    []string
+	srcs, dsts []string
+	outs, ins  []V
+	srcID      []int
+	dstID      []int
+	enc        []int64 // materialize: (cell, seq) encoding
+	foldPtr    []int   // materialize: fold CSR row pointer
+	foldCol    []int
+	foldVal    []V
+}
+
+// NewView creates an empty view for the given operator pair.
+func NewView[V any](ops semiring.Ops[V], opt Options) *View[V] {
+	// Each log line gets its own empty array: reuse-append chains grow
+	// their receiver's backing, so eout and ein must never share one.
+	return &View[V]{
+		eng:   shard.Engine[V]{Ops: ops, Mul: opt.Mul},
+		opt:   opt,
+		eout:  assoc.FromTriples[V](nil, nil),
+		ein:   assoc.FromTriples[V](nil, nil),
+		main:  assoc.FromTriples[V](nil, nil),
+		exact: true,
+	}
+}
+
+// FromIncidence bootstraps a view from an existing batch-built pair of
+// incidence arrays: the initial adjacency is constructed one-shot (the
+// exact sequential fold), and subsequent Appends apply deltas on top.
+func FromIncidence[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V], opt Options) (*View[V], error) {
+	if !eout.RowKeys().Equal(ein.RowKeys()) {
+		return nil, fmt.Errorf("stream: incidence arrays disagree on edge keys")
+	}
+	v := NewView(ops, opt)
+	if eout.RowKeys().Len() == 0 {
+		return v, nil
+	}
+	adj, err := v.eng.Partial(eout, ein)
+	if err != nil {
+		return nil, err
+	}
+	v.eout, v.ein, v.main = eout, ein, adj
+	v.edges = eout.RowKeys().Len()
+	return v, nil
+}
+
+// Append ingests one edge batch. Edge keys must be strictly increasing
+// within the batch and sort after every key already in the log (the
+// append-only discipline that keeps fold order equal to arrival order);
+// an empty Key is auto-assigned from a monotone sequence — don't mix
+// auto-assigned and explicit keys. Duplicate keys are rejected.
+func (v *View[V]) Append(edges []Edge[V]) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ops := v.eng.Ops
+	s := &v.scr
+	s.rowKeys = s.rowKeys[:0]
+	s.srcs, s.dsts = s.srcs[:0], s.dsts[:0]
+	s.outs, s.ins = s.outs[:0], s.ins[:0]
+	prev := ""
+	for i, e := range edges {
+		key := e.Key
+		if key == "" {
+			if v.autoBase == "" {
+				// Seed the generator past whatever is already in the
+				// log (e.g. a FromIncidence bootstrap with explicit
+				// keys), so auto keys keep the ascending discipline.
+				if lk := v.eout.RowKeys(); lk.Len() > 0 {
+					v.autoBase = lk.Key(lk.Len()-1) + "+"
+				} else {
+					v.autoBase = "e"
+				}
+			}
+			key = fmt.Sprintf("%s%012d", v.autoBase, v.autoSeq+i)
+		}
+		if i > 0 && key <= prev {
+			return fmt.Errorf("stream: batch edge keys not strictly increasing at %d: %q <= %q", i, key, prev)
+		}
+		prev = key
+		ov, iv := e.Out, e.In
+		if ops.IsZero(ov) {
+			ov = ops.One
+		}
+		if ops.IsZero(iv) {
+			iv = ops.One
+		}
+		s.rowKeys = append(s.rowKeys, key)
+		s.srcs = append(s.srcs, e.Src)
+		s.dsts = append(s.dsts, e.Dst)
+		s.outs = append(s.outs, ov)
+		s.ins = append(s.ins, iv)
+	}
+	if err := v.appendResolvedLocked(); err != nil {
+		return err
+	}
+	v.autoSeq += len(edges)
+	return nil
+}
+
+// appendResolvedLocked applies the batch staged in v.scr: the fused fast
+// path when every batch vertex already exists in the log's column sets,
+// the general array route otherwise.
+func (v *View[V]) appendResolvedLocked() error {
+	s := &v.scr
+	srcSet, dstSet := v.eout.ColKeys(), v.ein.ColKeys()
+	n := len(s.rowKeys)
+	resolved := true
+	s.srcID = s.srcID[:0]
+	s.dstID = s.dstID[:0]
+	if srcSet == v.lastSrc && dstSet == v.lastDst {
+		// Universe stable since the last fast append: the sets' cached
+		// reverse indexes amortize, so resolve through them.
+		for i := 0; i < n && resolved; i++ {
+			si, okS := srcSet.Index(s.srcs[i])
+			di, okD := dstSet.Index(s.dsts[i])
+			if !okS || !okD {
+				resolved = false
+				break
+			}
+			s.srcID = append(s.srcID, si)
+			s.dstID = append(s.dstID, di)
+		}
+	} else {
+		// Universe changed recently: binary-search instead — slower per
+		// lookup, but never forces the O(universe) map build that would
+		// otherwise recur on every batch while the universe still grows.
+		for i := 0; i < n && resolved; i++ {
+			si, okS := srcSet.IndexSorted(s.srcs[i])
+			di, okD := dstSet.IndexSorted(s.dsts[i])
+			if !okS || !okD {
+				resolved = false
+				break
+			}
+			s.srcID = append(s.srcID, si)
+			s.dstID = append(s.dstID, di)
+		}
+	}
+	C := int64(dstSet.Len())
+	if resolved && (C == 0 || int64(srcSet.Len()) <= math.MaxInt64/C) {
+		return v.appendFastLocked()
+	}
+	return v.appendSlowLocked()
+}
+
+// appendSlowLocked handles a staged batch that introduces vertices
+// unseen by the log: the column universes grow by merge-sweep union
+// (GrowCols — no hashing, and the growth maps come back for free), the
+// pending backlog's integer coordinates are rebased into the grown
+// universe — O(backlog), no fold — and the batch's contributions queue
+// raw exactly like the fast path's. Cold ingest from an empty view
+// therefore stays amortized even though nearly every early batch lands
+// here.
+func (v *View[V]) appendSlowLocked() error {
+	s := &v.scr
+	n := len(s.rowKeys)
+	// Validate the cross-batch key discipline up front: everything past
+	// this point mutates view state that is awkward to unwind.
+	if last := v.eout.RowKeys(); last.Len() > 0 && s.rowKeys[0] <= last.Key(last.Len()-1) {
+		return fmt.Errorf("stream: batch key %q does not sort after the log's last key %q", s.rowKeys[0], last.Key(last.Len()-1))
+	}
+	if v.opt.CheckAssociative {
+		if err := v.checkBatchAssociativeLocked(); err != nil {
+			return err
+		}
+	}
+	srcSet, si := argsortUnique(s.srcs)
+	dstSet, di := argsortUnique(s.dsts)
+	eoutG, oldSrcPos, bSrcPos, err := v.eout.GrowCols(srcSet)
+	if err != nil {
+		return err
+	}
+	einG, oldDstPos, bDstPos, err := v.ein.GrowCols(dstSet)
+	if err != nil {
+		return err
+	}
+	newC := int64(einG.ColKeys().Len())
+	if newC > 0 && int64(eoutG.ColKeys().Len()) > math.MaxInt64/newC {
+		// Cell coordinates no longer pack into an int64: fall back to
+		// the array route (flush + direct merge), which never packs.
+		// Nothing observable has been mutated yet.
+		dout, din, err := buildDelta(s.rowKeys, s.srcs, s.dsts, s.outs, s.ins)
+		if err != nil {
+			return err
+		}
+		return v.appendArraysLocked(dout, din, nil)
+	}
+	oldC := int64(v.ein.ColKeys().Len())
+	// Per-edge positions in the grown universes, via the batch-set maps.
+	s.srcID, s.dstID = s.srcID[:0], s.dstID[:0]
+	for i := 0; i < n; i++ {
+		gs, gd := si[i], di[i]
+		if bSrcPos != nil {
+			gs = bSrcPos[gs]
+		}
+		if bDstPos != nil {
+			gd = bDstPos[gd]
+		}
+		s.srcID = append(s.srcID, gs)
+		s.dstID = append(s.dstID, gd)
+	}
+	eout, ein, err := assoc.AppendIncidencePair(eoutG, einG, s.rowKeys, s.srcID, s.dstID, s.outs, s.ins)
+	if err != nil {
+		return err
+	}
+	// Rebase the backlog into the grown universe — only past this point
+	// is the batch committed, so a failed append leaves coordinates
+	// consistent with the (unchanged) view.
+	if len(v.pendCell) > 0 && (oldSrcPos != nil || oldDstPos != nil || oldC != newC) {
+		for i, cell := range v.pendCell {
+			r, c := cell/oldC, cell%oldC
+			if oldSrcPos != nil {
+				r = int64(oldSrcPos[r])
+			}
+			if oldDstPos != nil {
+				c = int64(oldDstPos[c])
+			}
+			v.pendCell[i] = r*newC + c
+		}
+	}
+	v.lastSrc, v.lastDst = nil, nil
+	v.eout, v.ein = eout, ein
+	return v.commitBatchLocked(newC)
+}
+
+// appendFastLocked is the steady-state ingest path: all batch vertices
+// resolved to positions in the (unchanged) universe, so the log grows by
+// unit rows and the batch's contributions queue as raw (cell, value)
+// pairs — no delta arrays, no per-batch product, no key-set work.
+func (v *View[V]) appendFastLocked() error {
+	s := &v.scr
+
+	if v.opt.CheckAssociative {
+		if err := v.checkBatchAssociativeLocked(); err != nil {
+			return err
+		}
+	}
+	eout, ein, err := assoc.AppendIncidencePair(v.eout, v.ein, s.rowKeys, s.srcID, s.dstID, s.outs, s.ins)
+	if err != nil {
+		return err
+	}
+	C := int64(v.ein.ColKeys().Len())
+	v.lastSrc, v.lastDst = v.eout.ColKeys(), v.ein.ColKeys()
+	v.eout, v.ein = eout, ein
+	return v.commitBatchLocked(C)
+}
+
+// commitBatchLocked is the shared tail of both append paths: it queues
+// the staged batch's contributions as (cell, value) pairs against the
+// committed universe (stride C), bumps the counters, and applies the
+// budget/compaction policies. The caller must already have grown the
+// log and assigned v.eout/v.ein.
+func (v *View[V]) commitBatchLocked(C int64) error {
+	s := &v.scr
+	ops := v.eng.Ops
+	for i := range s.srcID {
+		v.pendCell = append(v.pendCell, int64(s.srcID[i])*C+int64(s.dstID[i]))
+		v.pendVal = append(v.pendVal, ops.Mul(s.outs[i], s.ins[i]))
+	}
+	v.edges += len(s.rowKeys)
+	v.appends++
+	v.epoch++
+	if len(v.pendVal) >= v.pendingBudget() {
+		if err := v.materializeLocked(); err != nil {
+			return err
+		}
+	}
+	if v.opt.CompactEvery > 0 && v.appends >= v.opt.CompactEvery {
+		return v.compactLocked()
+	}
+	return nil
+}
+
+// checkBatchAssociativeLocked samples the associativity guard over the
+// staged batch's values and their ⊗-products — the values the deferred
+// fold will actually combine.
+func (v *View[V]) checkBatchAssociativeLocked() error {
+	s := &v.scr
+	ops := v.eng.Ops
+	sample := make([]V, 0, 12)
+	for i := range s.outs {
+		if len(sample) >= 12 {
+			break
+		}
+		sample = append(sample, s.outs[i])
+		if len(sample) < 12 {
+			sample = append(sample, s.ins[i])
+		}
+		if len(sample) < 12 {
+			sample = append(sample, ops.Mul(s.outs[i], s.ins[i]))
+		}
+	}
+	if err := v.eng.CheckAssociativeValues(sample); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	return nil
+}
+
+// buildDelta constructs a batch's delta incidence arrays in one
+// map-free pass. Because an incidence row holds exactly one entry per
+// side (Definition I.4), each side is a unit-diagonal-shaped CSR whose
+// column indices come from one argsort of the batch's vertex keys; no
+// hash maps are built.
+//
+// The returned arrays retain the callers' slices (rowKeys, outs, ins)
+// — the view passes its per-append scratch here, so they must not
+// outlive the append that built them. The log append copies everything
+// it keeps.
+func buildDelta[V any](rowKeys, srcs, dsts []string, outs, ins []V) (dout, din *assoc.Array[V], err error) {
+	n := len(rowKeys)
+	rows, err := keys.FromSorted(rowKeys)
+	if err != nil {
+		return nil, nil, fmt.Errorf("stream: batch keys: %w", err)
+	}
+	srcSet, si := argsortUnique(srcs)
+	dstSet, di := argsortUnique(dsts)
+	rowPtr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = i + 1
+	}
+	outM, err := sparse.NewCSR(n, srcSet.Len(), rowPtr, si, outs)
+	if err != nil {
+		return nil, nil, err
+	}
+	inM, err := sparse.NewCSR(n, dstSet.Len(), append([]int(nil), rowPtr...), di, ins)
+	if err != nil {
+		return nil, nil, err
+	}
+	dout, err = assoc.New(rows, srcSet, outM)
+	if err != nil {
+		return nil, nil, err
+	}
+	din, err = assoc.New(rows, dstSet, inM)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dout, din, nil
+}
+
+// argsortUnique returns the sorted unique key Set of ks plus each
+// element's position in it — one argsort instead of a set sort followed
+// by per-element binary searches.
+func argsortUnique(ks []string) (*keys.Set, []int) {
+	idx := make([]int, len(ks))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortFunc(idx, func(a, b int) int { return strings.Compare(ks[a], ks[b]) })
+	uniq := make([]string, 0, len(ks))
+	pos := make([]int, len(ks))
+	for _, e := range idx {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != ks[e] {
+			uniq = append(uniq, ks[e])
+		}
+		pos[e] = len(uniq) - 1
+	}
+	set, err := keys.FromSorted(uniq)
+	if err != nil {
+		panic("stream: argsortUnique produced unsorted keys: " + err.Error())
+	}
+	return set, pos
+}
+
+// AppendArrays ingests one batch given directly as a pair of delta
+// incidence arrays sharing their edge-key row set — the entry point for
+// ingest pipelines that already build arrays (internal/core's
+// accumulator, replayed batch files). The same key discipline as Append
+// applies.
+func (v *View[V]) AppendArrays(dout, din *assoc.Array[V]) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.appendArraysLocked(dout, din, nil)
+}
+
+// appendArraysLocked applies one delta batch on the general array route:
+// the batch's partial product (computed through the shared shard engine
+// when not supplied) is ⊕-merged into the main adjacency directly. This
+// is the only path that can grow the vertex universe, so the pending
+// backlog — encoded in the old universe's coordinates — is folded first.
+func (v *View[V]) appendArraysLocked(dout, din, partial *assoc.Array[V]) error {
+	if !dout.RowKeys().Equal(din.RowKeys()) {
+		return fmt.Errorf("stream: delta incidence arrays disagree on edge keys")
+	}
+	if dout.RowKeys().Len() == 0 {
+		return nil
+	}
+	if partial == nil {
+		var err error
+		partial, err = v.eng.Partial(dout, din)
+		if err != nil {
+			return err
+		}
+	}
+	if v.opt.CheckAssociative {
+		if err := v.eng.CheckAssociative(dout, din, partial); err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+	}
+	// Fold the backlog under the universe its coordinates refer to,
+	// before the log append below can grow it.
+	if err := v.materializeLocked(); err != nil {
+		return err
+	}
+	// Grow the log next: AppendRows validates the key discipline, and
+	// failing before the merge keeps log and adjacency consistent.
+	eout, err := v.eout.AppendRows(dout, true)
+	if err != nil {
+		return err
+	}
+	ein, err := v.ein.AppendRows(din, true)
+	if err != nil {
+		return err
+	}
+	v.eout, v.ein = eout, ein
+	uRows, uCols := eout.ColKeys(), ein.ColKeys()
+	pe, err := partial.EmbedInto(uRows, uCols)
+	if err != nil {
+		return err
+	}
+	if err := v.embedMainLocked(uRows, uCols); err != nil {
+		return err
+	}
+	if v.main.NNZ() > 0 && partial.NNZ() > 0 && !v.opt.CheckAssociative {
+		// The merge groups this batch's folded contribution against
+		// already-folded state under unverified ⊕.
+		v.exact = false
+	}
+	main, err := v.eng.MergeScratch(v.main, pe, !v.mainShared, &v.mainScr)
+	if err != nil {
+		return err
+	}
+	if main != v.main {
+		v.mainShared = false
+	}
+	v.main = main
+	v.edges += dout.RowKeys().Len()
+	v.appends++
+	v.epoch++
+	if v.opt.CompactEvery > 0 && v.appends >= v.opt.CompactEvery {
+		return v.compactLocked()
+	}
+	return nil
+}
+
+func (v *View[V]) pendingBudget() int {
+	if v.opt.PendingBudget > 0 {
+		return v.opt.PendingBudget
+	}
+	b := v.main.NNZ() / 4
+	if b < 4096 {
+		b = 4096
+	}
+	return b
+}
+
+// embedMainLocked grows main's key sets to the universe. EmbedInto
+// shares main's storage (no value copy), so mainShared must stay as it
+// is.
+func (v *View[V]) embedMainLocked(uRows, uCols *keys.Set) error {
+	if v.main.RowKeys().Equal(uRows) && v.main.ColKeys().Equal(uCols) {
+		return nil
+	}
+	main, err := v.main.EmbedInto(uRows, uCols)
+	if err != nil {
+		return err
+	}
+	v.main = main
+	return nil
+}
+
+// materializeLocked folds the pending backlog into the main adjacency:
+// one integer sort groups the contributions by cell while preserving
+// arrival order within each cell, a single pass ⊕-folds each cell's run
+// (pruning folds equal to the algebra's zero, the kernels' contract),
+// and the resulting delta array ⊕-merges into main with main's entries
+// on the left. Level order is edge-key order, so only the fold's
+// GROUPING changes, never its order — and the grouping changes only at
+// this main-vs-backlog boundary, which is where a non-associative ⊕ can
+// diverge (flagged via Exact unless the guard is on).
+func (v *View[V]) materializeLocked() error {
+	n := len(v.pendVal)
+	if n == 0 {
+		return nil
+	}
+	s := &v.scr
+	ops := v.eng.Ops
+	uRows, uCols := v.eout.ColKeys(), v.ein.ColKeys()
+	R, C := uRows.Len(), uCols.Len()
+	maxCell := int64(R)*int64(C) - 1
+	// Strict: cell*n + i with i < n must not wrap for cell = maxCell.
+	packed := maxCell < math.MaxInt64/int64(n)
+	s.enc = s.enc[:0]
+	if cap(s.enc) < n {
+		s.enc = make([]int64, 0, 2*n)
+	}
+	if packed {
+		// (cell, seq) packed into one int64: sorting groups cells and
+		// keeps arrival order within each cell.
+		for i, cell := range v.pendCell {
+			s.enc = append(s.enc, cell*int64(n)+int64(i))
+		}
+		slices.Sort(s.enc)
+	} else {
+		// Coordinate space too large to pack: stable argsort by cell
+		// preserves arrival order without encoding.
+		for i := range v.pendCell {
+			s.enc = append(s.enc, int64(i))
+		}
+		slices.SortStableFunc(s.enc, func(a, b int64) int {
+			ca, cb := v.pendCell[a], v.pendCell[b]
+			switch {
+			case ca < cb:
+				return -1
+			case ca > cb:
+				return 1
+			}
+			return 0
+		})
+	}
+	if cap(s.foldPtr) < R+1 {
+		s.foldPtr = make([]int, R+1)
+	}
+	foldPtr := s.foldPtr[:R+1]
+	foldCol := s.foldCol[:0]
+	foldVal := s.foldVal[:0]
+	fillRow := 0
+	emit := func(cell int64, acc V) {
+		if ops.IsZero(acc) {
+			return
+		}
+		r := int(cell / int64(C))
+		for fillRow < r {
+			foldPtr[fillRow+1] = len(foldCol)
+			fillRow++
+		}
+		foldCol = append(foldCol, int(cell%int64(C)))
+		foldVal = append(foldVal, acc)
+	}
+	foldPtr[0] = 0
+	var acc V
+	curCell := int64(-1)
+	for _, e := range s.enc {
+		var cell int64
+		var i int
+		if packed {
+			cell = e / int64(n)
+			i = int(e % int64(n))
+		} else {
+			i = int(e)
+			cell = v.pendCell[i]
+		}
+		val := v.pendVal[i]
+		if cell != curCell {
+			if curCell >= 0 {
+				emit(curCell, acc)
+			}
+			curCell = cell
+			acc = val
+		} else {
+			acc = ops.Add(acc, val)
+		}
+	}
+	if curCell >= 0 {
+		emit(curCell, acc)
+	}
+	for fillRow < R {
+		foldPtr[fillRow+1] = len(foldCol)
+		fillRow++
+	}
+	s.foldCol, s.foldVal = foldCol, foldVal
+	v.pendCell = v.pendCell[:0]
+	v.pendVal = v.pendVal[:0]
+	if len(foldCol) == 0 {
+		// Every fold pruned to the algebra's zero — nothing to merge.
+		return nil
+	}
+	// The fold array only feeds the merge below — EWiseAddInto never
+	// returns or retains its src backing — so handing it the scratch
+	// slices directly is safe; the next materialize reuses them.
+	fm, err := sparse.NewCSR(R, C, foldPtr, foldCol, foldVal)
+	if err != nil {
+		return err
+	}
+	fold, err := assoc.New(uRows, uCols, fm)
+	if err != nil {
+		return err
+	}
+	if err := v.embedMainLocked(uRows, uCols); err != nil {
+		return err
+	}
+	if v.main.NNZ() > 0 && !v.opt.CheckAssociative {
+		// The merge below groups the backlog's folded contributions
+		// against already-folded state under unverified ⊕.
+		v.exact = false
+	}
+	main, err := v.eng.MergeScratch(v.main, fold, !v.mainShared, &v.mainScr)
+	if err != nil {
+		return err
+	}
+	if main != v.main {
+		v.mainShared = false
+	}
+	v.main = main
+	return nil
+}
+
+// Snapshot returns an immutable read view of the current state: the
+// adjacency array, both incidence arrays, and counters. The arrays
+// share storage with the live state, and subsequent appends leave
+// everything reachable from the snapshot untouched (copy-on-write), so
+// a snapshot costs O(1) — except when appends happened since the last
+// read, in which case the pending backlog is folded into the main
+// adjacency first (amortized across those appends).
+func (v *View[V]) Snapshot() (Snapshot[V], error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.materializeLocked(); err != nil {
+		return Snapshot[V]{}, err
+	}
+	if err := v.embedMainLocked(v.eout.ColKeys(), v.ein.ColKeys()); err != nil {
+		return Snapshot[V]{}, err
+	}
+	v.mainShared = true
+	return Snapshot[V]{
+		Adjacency: v.main,
+		Eout:      v.eout,
+		Ein:       v.ein,
+		Edges:     v.edges,
+		Epoch:     v.epoch,
+		Exact:     v.exact,
+	}, nil
+}
+
+// Snapshot is an immutable view of a View's state at one epoch.
+type Snapshot[V any] struct {
+	// Adjacency is A = Eoutᵀ ⊕.⊗ Ein as maintained incrementally.
+	Adjacency *assoc.Array[V]
+	// Eout and Ein are the incidence log at this epoch.
+	Eout, Ein *assoc.Array[V]
+	// Edges is the number of edges in the log.
+	Edges int
+	// Epoch counts batches applied since the view was created.
+	Epoch int
+	// Exact reports whether Adjacency provably equals the one-shot
+	// batch construction: true until a merge re-associates the ⊕ fold
+	// without the associativity guard, and restored by Compact. (With
+	// CheckAssociative set the guard is sampled, not proven — a
+	// violation outside the sample can still slip through.)
+	Exact bool
+}
+
+// Compact rebuilds the adjacency one-shot from the full incidence log —
+// the escape hatch for algebras where the delta identity doesn't hold,
+// and a periodic re-pack for long-lived views. The rebuilt state is the
+// exact sequential Definition I.3 fold.
+func (v *View[V]) Compact() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.compactLocked()
+}
+
+func (v *View[V]) compactLocked() error {
+	v.pendCell = v.pendCell[:0]
+	v.pendVal = v.pendVal[:0]
+	if v.edges == 0 {
+		v.appends = 0
+		v.exact = true
+		return nil
+	}
+	adj, err := v.eng.Partial(v.eout, v.ein)
+	if err != nil {
+		return err
+	}
+	if !v.mainShared {
+		v.mainScr.Recycle(v.main.Matrix())
+	}
+	v.main = adj
+	v.mainShared = false
+	v.appends = 0
+	v.exact = true
+	return nil
+}
+
+// Stats summarizes the view without exposing its arrays. Taking stats
+// never materializes: AdjNNZ counts the folded main level only, with
+// PendingNNZ contribution entries still in the backlog (pre-fold, so
+// several entries may later collapse into one stored cell).
+type Stats struct {
+	Edges       int  // edges in the log
+	OutVertices int  // distinct source vertices
+	InVertices  int  // distinct destination vertices
+	AdjNNZ      int  // stored entries in the materialized main level
+	PendingNNZ  int  // contribution entries awaiting the backlog fold
+	Appends     int  // batches since the last compact
+	Epoch       int  // batches ever applied
+	Exact       bool // see Snapshot.Exact
+}
+
+// Stats returns current counters.
+func (v *View[V]) Stats() Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return Stats{
+		Edges:       v.edges,
+		OutVertices: v.eout.ColKeys().Len(),
+		InVertices:  v.ein.ColKeys().Len(),
+		AdjNNZ:      v.main.NNZ(),
+		PendingNNZ:  len(v.pendVal),
+		Appends:     v.appends,
+		Epoch:       v.epoch,
+		Exact:       v.exact,
+	}
+}
