@@ -3,6 +3,7 @@ package adjarray
 import (
 	"adjarray/internal/algo"
 	"adjarray/internal/assoc"
+	"adjarray/internal/conformance"
 	"adjarray/internal/core"
 	"adjarray/internal/graph"
 	"adjarray/internal/keys"
@@ -328,6 +329,27 @@ func OutDegrees[V any](a *Array[V]) map[string]float64 { return algo.OutDegrees(
 
 // InDegrees is OutDegrees of the transpose.
 func InDegrees[V any](a *Array[V]) map[string]float64 { return algo.InDegrees(a) }
+
+// Cross-backend conformance (the verification subsystem).
+
+// ConformanceDivergence is one disagreement between construction paths,
+// pinned to a shrunk reproducing instance.
+type ConformanceDivergence = conformance.Divergence
+
+// SelfCheck runs the cross-backend conformance harness: `instances`
+// adversarial random instances per registry operator pair, each fed
+// through every registered construction path (serial CSR, two-phase,
+// parallel, sharded, incremental stream) and compared against the dense
+// Definition I.3 oracle where the Theorem II.1 conditions license it.
+// The first divergence is returned as a *ConformanceDivergence error
+// with a minimized counterexample; nil means every path agreed on every
+// instance. Deployments embedding custom backends can call this at
+// startup or from their own test suites.
+func SelfCheck(seed int64, instances int) error { return conformance.SelfCheck(seed, instances) }
+
+// ConformancePaths lists the registered construction-path names the
+// harness covers.
+func ConformancePaths() []string { return conformance.PathNames() }
 
 // Values.
 

@@ -35,6 +35,7 @@ import (
 	"adjarray/internal/render"
 	"adjarray/internal/semiring"
 	"adjarray/internal/stream"
+	"adjarray/internal/value"
 )
 
 // jsonRow is one configuration's result in the -json baseline file.
@@ -73,6 +74,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path")
 	reps := flag.Int("reps", 1, "repetitions per configuration (fastest kept)")
+	verify := flag.Bool("verify", false,
+		"validate every result against a correctness oracle instead of trusting the fast path: "+
+			"the dense Definition I.3 product when affordable, the serial two-phase reference otherwise; "+
+			"the stream workload is checked against a full rebuild (exit 1 on divergence)")
 	flag.Parse()
 
 	if _, ok := semiring.Lookup(*sr); !ok {
@@ -93,6 +98,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "graphbench:", err)
 			os.Exit(1)
 		}
+		var oracle *assoc.Array[float64]
+		oracleName := ""
+		if *verify {
+			// The literal Definition I.3 oracle costs O(V²·E); past a
+			// budget fall back to the serial two-phase reference, which
+			// the conformance harness keeps pinned to the oracle.
+			oracleName = string(core.BackendDense)
+			if v, e := g.Vertices().Len(), g.NumEdges(); int64(v)*int64(v)*int64(e) > 1<<27 {
+				oracleName = string(core.BackendCSR)
+			}
+			r, err := core.Build(core.Request{Eout: eout, Ein: ein, Semiring: *sr, Backend: core.Backend(oracleName)})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "graphbench: verify oracle:", err)
+				os.Exit(1)
+			}
+			oracle = r.Adjacency
+		}
 		for _, b := range backends {
 			var res *core.Result
 			var elapsed time.Duration
@@ -107,6 +129,13 @@ func main() {
 				}
 				if e := time.Since(start); res == nil || e < elapsed {
 					res, elapsed = r, e
+				}
+			}
+			if oracle != nil {
+				if diff := assoc.Diff(oracle, res.Adjacency, value.Float64Equal, value.FormatFloat); diff != "" {
+					fmt.Fprintf(os.Stderr, "graphbench: VERIFY FAILED: backend %s diverges from %s oracle on %s: %s\n",
+						b, oracleName, name, diff)
+					os.Exit(1)
 				}
 			}
 			rows = append(rows, []string{
@@ -185,14 +214,24 @@ func main() {
 		meanAppend := appendTotal / time.Duration(deltas)
 
 		var rebuild time.Duration
+		var rebuilt *assoc.Array[float64]
 		for rep := 0; rep < *reps || rep == 0; rep++ {
 			start := time.Now()
-			if _, err := assoc.Correlate(snap.Eout, snap.Ein, entry.Ops, assoc.MulOptions{}); err != nil {
+			r, err := assoc.Correlate(snap.Eout, snap.Ein, entry.Ops, assoc.MulOptions{})
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "graphbench:", err)
 				os.Exit(1)
 			}
 			if e := time.Since(start); rep == 0 || e < rebuild {
 				rebuild = e
+			}
+			rebuilt = r
+		}
+		if *verify {
+			if diff := assoc.Diff(rebuilt, snap.Adjacency, value.Float64Equal, value.FormatFloat); diff != "" {
+				fmt.Fprintf(os.Stderr, "graphbench: VERIFY FAILED: incremental view diverges from full rebuild on %s: %s\n",
+					name, diff)
+				os.Exit(1)
 			}
 		}
 		for _, row := range []struct {

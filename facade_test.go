@@ -143,3 +143,17 @@ func TestFacadeAlgorithms(t *testing.T) {
 		t.Errorf("TriangleCount = %d, %v", n, err)
 	}
 }
+
+func TestFacadeConformance(t *testing.T) {
+	names := adjarray.ConformancePaths()
+	if len(names) < 5 {
+		t.Fatalf("conformance path roster too small: %v", names)
+	}
+	if err := adjarray.SelfCheck(17, 8); err != nil {
+		d, ok := err.(*adjarray.ConformanceDivergence)
+		if !ok {
+			t.Fatalf("SelfCheck: %v", err)
+		}
+		t.Fatalf("construction paths diverged: %s", d.Error())
+	}
+}

@@ -1,0 +1,51 @@
+package assoc
+
+import "fmt"
+
+// Diff describes the first difference between two arrays, or "" when
+// they are Equal under eq. Key-set disagreements are reported before
+// entry disagreements; entries are compared in row-major key order so
+// the report is deterministic. format renders values (nil for %v).
+//
+// This is the divergence reporter of the conformance harness: a bare
+// Equal=false tells a human nothing about WHERE five construction paths
+// disagree, while the first differing triple pins the failure to one
+// (row, col) cell of one instance.
+func Diff[V any](a, b *Array[V], eq func(V, V) bool, format func(V) string) string {
+	if format == nil {
+		format = func(v V) string { return fmt.Sprintf("%v", v) }
+	}
+	if !a.rows.Equal(b.rows) {
+		return fmt.Sprintf("row key sets differ: %v vs %v", a.rows, b.rows)
+	}
+	if !a.cols.Equal(b.cols) {
+		return fmt.Sprintf("col key sets differ: %v vs %v", a.cols, b.cols)
+	}
+	at, bt := a.Triples(), b.Triples()
+	for i := 0; i < len(at) && i < len(bt); i++ {
+		x, y := at[i], bt[i]
+		if x.Row != y.Row || x.Col != y.Col {
+			return fmt.Sprintf("entry %d: stored at (%s,%s) vs (%s,%s)", i, x.Row, x.Col, y.Row, y.Col)
+		}
+		if !eq(x.Val, y.Val) {
+			return fmt.Sprintf("value at (%s,%s): %s vs %s", x.Row, x.Col, format(x.Val), format(y.Val))
+		}
+	}
+	if len(at) != len(bt) {
+		return fmt.Sprintf("nnz differs: %d vs %d", len(at), len(bt))
+	}
+	return ""
+}
+
+// Validate checks an array's internal consistency: the matrix dimensions
+// must match the key-set sizes and the CSR structural invariants must
+// hold. Operations on well-formed arrays preserve these invariants, so a
+// failure indicates a kernel bug; the conformance harness runs Validate
+// on every construction path's output.
+func (a *Array[V]) Validate() error {
+	if a.mat.Rows() != a.rows.Len() || a.mat.Cols() != a.cols.Len() {
+		return fmt.Errorf("assoc: matrix %d×%d does not match key sets %d×%d",
+			a.mat.Rows(), a.mat.Cols(), a.rows.Len(), a.cols.Len())
+	}
+	return a.mat.Validate()
+}

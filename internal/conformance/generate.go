@@ -1,0 +1,195 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adjarray/internal/semiring"
+)
+
+// Generator draws adversarial random instances. Deterministic given the
+// seed, so every run of the differential executor is reproducible from
+// (seed, instance index) alone.
+type Generator struct {
+	r *rand.Rand
+}
+
+// NewGenerator creates a Generator.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{r: rand.New(rand.NewSource(seed))}
+}
+
+// unicodeVertexPool holds vertex keys chosen to break naive key
+// handling: prefix-colliding names, an embedded NUL, the separator
+// characters the Explode convention uses, combining characters (two
+// spellings of é that must stay distinct keys), 0xff bytes that stress
+// prefix upper bounds, astral-plane runes, and the empty string.
+var unicodeVertexPool = []string{
+	"", "v", "v|", "v|x", "vv", "v\x00", "v\x00a", "v\xff", "v\xffz",
+	"é", "é", "�", "😀", "😀b", "Ω", "Ωa",
+}
+
+// edgeKeyPrefixes are adversarial edge-key prefixes; a fixed-width
+// numeric suffix keeps keys unique while the prefixes collide.
+var edgeKeyPrefixes = []string{"e", "e|", "e\x00", "é", "😀", "e\xff"}
+
+// arm is one generator strategy.
+type arm struct {
+	name        string
+	adversarial bool // draw values from the adversarial sample (off-domain, NaN/Inf)
+	build       func(g *Generator, weights []float64) []Edge
+}
+
+func arms() []arm {
+	return []arm{
+		{name: "empty", build: func(*Generator, []float64) []Edge { return nil }},
+		{name: "single-vertex", build: singleVertex},
+		{name: "parallel-edges", build: parallelEdges},
+		{name: "rmat-skew", build: rmatSkew},
+		{name: "unicode-keys", build: unicodeKeys},
+		{name: "sparse-wide", build: sparseWide},
+		{name: "special-values", adversarial: true, build: parallelEdges},
+		{name: "special-skew", adversarial: true, build: rmatSkew},
+	}
+}
+
+// Instance draws one instance for the given registry pair. Weights come
+// from the pair's canonical sample (on-domain arms, oracle-eligible) or
+// its AdversarialSample (off-domain arms, which the executor downgrades
+// to cross-kernel agreement), always excluding the pair's Zero so the
+// incidence arrays honor Definition I.4.
+func (g *Generator) Instance(e semiring.Entry) Instance {
+	as := arms()
+	a := as[g.r.Intn(len(as))]
+	pool := e.Sample
+	if a.adversarial {
+		pool = e.AdversarialSample()
+	}
+	weights := nonZeroWeights(pool, e.Ops)
+	in := Instance{Name: a.name, Edges: a.build(g, weights)}
+	// Random batch splits for the incremental path: none, halves, or a
+	// handful of uneven cuts.
+	if n := len(in.Edges); n > 1 {
+		switch g.r.Intn(3) {
+		case 1:
+			in.Splits = []int{1 + g.r.Intn(n-1)}
+		case 2:
+			for c := 0; c < 3; c++ {
+				in.Splits = append(in.Splits, 1+g.r.Intn(n-1))
+			}
+		}
+	}
+	in.normalize()
+	return in
+}
+
+// nonZeroWeights filters a value pool down to legal incidence entries.
+func nonZeroWeights(pool []float64, ops semiring.Ops[float64]) []float64 {
+	var out []float64
+	for _, v := range pool {
+		if !ops.IsZero(v) {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		out = []float64{ops.One}
+	}
+	return out
+}
+
+func (g *Generator) weight(weights []float64) float64 {
+	return weights[g.r.Intn(len(weights))]
+}
+
+func (g *Generator) edgeKey(i int) string {
+	return fmt.Sprintf("%s%04d", edgeKeyPrefixes[g.r.Intn(len(edgeKeyPrefixes))], i)
+}
+
+// singleVertex: one vertex, up to six parallel self-loops — the smallest
+// universe in which ⊕ aggregation can go wrong.
+func singleVertex(g *Generator, weights []float64) []Edge {
+	n := 1 + g.r.Intn(6)
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{Key: g.edgeKey(i), Src: "v", Dst: "v", Out: g.weight(weights), In: g.weight(weights)}
+	}
+	return edges
+}
+
+// parallelEdges: at most three vertices and many duplicate (src,dst)
+// pairs, so most adjacency cells fold several contributions.
+func parallelEdges(g *Generator, weights []float64) []Edge {
+	vs := []string{"a", "b", "c"}[:1+g.r.Intn(3)]
+	n := 4 + g.r.Intn(21)
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{
+			Key: g.edgeKey(i),
+			Src: vs[g.r.Intn(len(vs))], Dst: vs[g.r.Intn(len(vs))],
+			Out: g.weight(weights), In: g.weight(weights),
+		}
+	}
+	return edges
+}
+
+// rmatSkew: a small recursive-matrix multigraph — power-law degree
+// distribution, hub rows with long fold chains, plus isolated regions.
+func rmatSkew(g *Generator, weights []float64) []Edge {
+	scale := 3 + g.r.Intn(3) // 8..32 vertices
+	n := 1 << scale
+	m := (2 + g.r.Intn(3)) * (n / 2)
+	edges := make([]Edge, m)
+	for e := 0; e < m; e++ {
+		src, dst := 0, 0
+		for bit := n >> 1; bit >= 1; bit >>= 1 {
+			p := g.r.Float64()
+			switch {
+			case p < 0.57:
+			case p < 0.76:
+				dst += bit
+			case p < 0.95:
+				src += bit
+			default:
+				src += bit
+				dst += bit
+			}
+		}
+		edges[e] = Edge{
+			Key: fmt.Sprintf("e%05d", e),
+			Src: fmt.Sprintf("v%03d", src), Dst: fmt.Sprintf("v%03d", dst),
+			Out: g.weight(weights), In: g.weight(weights),
+		}
+	}
+	return edges
+}
+
+// unicodeKeys: endpoints drawn from the prefix-colliding unicode pool,
+// adversarial edge-key prefixes included.
+func unicodeKeys(g *Generator, weights []float64) []Edge {
+	n := 2 + g.r.Intn(14)
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{
+			Key: g.edgeKey(i),
+			Src: unicodeVertexPool[g.r.Intn(len(unicodeVertexPool))],
+			Dst: unicodeVertexPool[g.r.Intn(len(unicodeVertexPool))],
+			Out: g.weight(weights), In: g.weight(weights),
+		}
+	}
+	return edges
+}
+
+// sparseWide: many vertices, few edges — adjacency arrays dominated by
+// empty rows and columns, exercising key-set bookkeeping over values.
+func sparseWide(g *Generator, weights []float64) []Edge {
+	n := 2 + g.r.Intn(6)
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{
+			Key: g.edgeKey(i),
+			Src: fmt.Sprintf("s%02d", g.r.Intn(24)), Dst: fmt.Sprintf("t%02d", g.r.Intn(24)),
+			Out: g.weight(weights), In: g.weight(weights),
+		}
+	}
+	return edges
+}

@@ -1,0 +1,195 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/value"
+)
+
+// Edge is one directed multigraph edge of a conformance instance: key k,
+// endpoints, and the two incidence entry values Eout(k,Src) and
+// Ein(k,Dst). Keys are unique and non-empty; values are non-Zero under
+// the instance's operator pair (Definition I.4).
+type Edge struct {
+	Key, Src, Dst string
+	Out, In       float64
+}
+
+// Instance is one differential-testing input: an edge list in ascending
+// key order plus the batch split points the incremental path replays it
+// with. The zero value is the empty instance.
+type Instance struct {
+	// Name identifies the generator arm that produced the instance.
+	Name string
+	// Edges is the edge list, sorted by strictly increasing Key.
+	Edges []Edge
+	// Splits are cut points in (0, len(Edges)): the stream path appends
+	// Edges[0:s1), Edges[s1:s2), …, Edges[sn:len) as separate batches
+	// with a snapshot between batches (maximal fold re-association).
+	// Empty means one batch.
+	Splits []int
+}
+
+// normalize sorts edges by key, drops duplicate keys (keeping the first),
+// and clamps splits into strictly-increasing interior cut points.
+func (in *Instance) normalize() {
+	sort.SliceStable(in.Edges, func(i, j int) bool { return in.Edges[i].Key < in.Edges[j].Key })
+	out := in.Edges[:0]
+	for i, e := range in.Edges {
+		if e.Key == "" {
+			continue // the stream path would auto-assign a different key
+		}
+		if i > 0 && len(out) > 0 && e.Key == out[len(out)-1].Key {
+			continue
+		}
+		out = append(out, e)
+	}
+	in.Edges = out
+	in.Splits = clampSplits(in.Splits, len(in.Edges))
+}
+
+// clampSplits filters cut points to strictly-increasing values inside
+// (0, n).
+func clampSplits(splits []int, n int) []int {
+	var out []int
+	for _, s := range splits {
+		if s > 0 && s < n && (len(out) == 0 || s > out[len(out)-1]) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NumTriples counts stored incidence entries: one Eout triple plus one
+// Ein triple per edge. Shrinking minimizes this quantity.
+func (in Instance) NumTriples() int { return 2 * len(in.Edges) }
+
+// Incidence builds the instance's source and target incidence arrays
+// (rows = edge keys, columns = vertices).
+func (in Instance) Incidence() (eout, ein *assoc.Array[float64]) {
+	outT := make([]assoc.Triple[float64], len(in.Edges))
+	inT := make([]assoc.Triple[float64], len(in.Edges))
+	for i, e := range in.Edges {
+		outT[i] = assoc.Triple[float64]{Row: e.Key, Col: e.Src, Val: e.Out}
+		inT[i] = assoc.Triple[float64]{Row: e.Key, Col: e.Dst, Val: e.In}
+	}
+	return assoc.FromTriples(outT, nil), assoc.FromTriples(inT, nil)
+}
+
+// Encode renders the instance as a line-oriented text artifact: one
+// quoted tab-separated edge per line, preceded by name and splits
+// headers. The format round-trips through DecodeInstance, so a CI
+// artifact can be replayed locally.
+func (in Instance) Encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name %s\n", strconv.Quote(in.Name))
+	if len(in.Splits) > 0 {
+		b.WriteString("splits")
+		for _, s := range in.Splits {
+			fmt.Fprintf(&b, " %d", s)
+		}
+		b.WriteByte('\n')
+	}
+	for _, e := range in.Edges {
+		fmt.Fprintf(&b, "edge %s %s %s %s %s\n",
+			strconv.Quote(e.Key), strconv.Quote(e.Src), strconv.Quote(e.Dst),
+			strconv.Quote(value.FormatFloat(e.Out)), strconv.Quote(value.FormatFloat(e.In)))
+	}
+	return []byte(b.String())
+}
+
+// DecodeInstance parses Encode's output. Lines starting with '#' are
+// comments — writeArtifact prepends one carrying the divergence report,
+// so a downloaded CI artifact replays without editing.
+func DecodeInstance(data []byte) (Instance, error) {
+	var in Instance
+	for ln, line := range strings.Split(string(data), "\n") {
+		if t := strings.TrimSpace(line); t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return Instance{}, fmt.Errorf("conformance: line %d: %w", ln+1, err)
+		}
+		switch fields[0] {
+		case "name":
+			if len(fields) != 2 {
+				return Instance{}, fmt.Errorf("conformance: line %d: malformed name", ln+1)
+			}
+			in.Name = fields[1]
+		case "splits":
+			for _, f := range fields[1:] {
+				s, err := strconv.Atoi(f)
+				if err != nil {
+					return Instance{}, fmt.Errorf("conformance: line %d: split %q: %w", ln+1, f, err)
+				}
+				in.Splits = append(in.Splits, s)
+			}
+		case "edge":
+			if len(fields) != 6 {
+				return Instance{}, fmt.Errorf("conformance: line %d: edge wants 5 fields, got %d", ln+1, len(fields)-1)
+			}
+			out, err := value.ParseFloat(fields[4])
+			if err != nil {
+				return Instance{}, fmt.Errorf("conformance: line %d: out value: %w", ln+1, err)
+			}
+			iv, err := value.ParseFloat(fields[5])
+			if err != nil {
+				return Instance{}, fmt.Errorf("conformance: line %d: in value: %w", ln+1, err)
+			}
+			in.Edges = append(in.Edges, Edge{Key: fields[1], Src: fields[2], Dst: fields[3], Out: out, In: iv})
+		default:
+			return Instance{}, fmt.Errorf("conformance: line %d: unknown record %q", ln+1, fields[0])
+		}
+	}
+	in.normalize()
+	return in, nil
+}
+
+// splitQuoted tokenizes a record line: a bare head word followed by
+// space-separated tokens, each either bare or Go-quoted.
+func splitQuoted(line string) ([]string, error) {
+	var out []string
+	rest := strings.TrimSpace(line)
+	for rest != "" {
+		if rest[0] == '"' {
+			// Find the closing quote, honoring escapes.
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", line)
+			}
+			tok, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted token: %w", err)
+			}
+			out = append(out, tok)
+			rest = strings.TrimLeft(rest[end+1:], " ")
+			continue
+		}
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			out = append(out, rest)
+			break
+		}
+		out = append(out, rest[:sp])
+		rest = strings.TrimLeft(rest[sp+1:], " ")
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty record")
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package conformance
+
+import (
+	"testing"
+
+	"adjarray/internal/keys"
+	"adjarray/internal/semiring"
+)
+
+// Every registry pair, on adversarial instances, must satisfy the
+// paper's metamorphic laws (each law self-gates on the algebraic
+// property it needs, so non-examples run too).
+func TestMetamorphicLaws(t *testing.T) {
+	selectors := []struct {
+		name           string
+		rowSel, colSel keys.Selector
+	}{
+		{"all", keys.All{}, keys.All{}},
+		{"prefix-v", keys.Prefix{P: "v"}, keys.All{}},
+		{"range", keys.Range{Lo: "a", Hi: "s99"}, keys.Prefix{P: "t"}},
+		{"empty-col", keys.All{}, keys.NewList("no-such-vertex")},
+	}
+	for _, entry := range semiring.Registry() {
+		gen := NewGenerator(99)
+		for i := 0; i < 20; i++ {
+			inst := gen.Instance(entry)
+			if err := CheckTransposeDuality(inst, entry); err != nil {
+				t.Error(err)
+			}
+			if err := CheckDegreeSums(inst); err != nil {
+				t.Error(err)
+			}
+			sel := selectors[i%len(selectors)]
+			if err := CheckSubArraySelection(inst, entry, sel.rowSel, sel.colSel); err != nil {
+				t.Errorf("selector %s: %v", sel.name, err)
+			}
+			// The instance's own splits, then a pathological every-edge split.
+			if err := CheckBatchEqualsIncremental(inst, entry, nil); err != nil {
+				t.Error(err)
+			}
+			everyEdge := make([]int, 0, len(inst.Edges))
+			for s := 1; s < len(inst.Edges); s++ {
+				everyEdge = append(everyEdge, s)
+			}
+			if err := CheckBatchEqualsIncremental(inst, entry, everyEdge); err != nil {
+				t.Errorf("per-edge splits: %v", err)
+			}
+		}
+	}
+}
+
+// The duality law gates itself on ⊗ commutativity: for a pair whose ⊗
+// is genuinely non-commutative the law must skip (nil) rather than
+// report the inherent asymmetry as a violation. No registry float pair
+// has a non-commutative ⊗ (first.* is non-commutative in ⊕, which the
+// law does not need), so an ad-hoc pair exercises the gate.
+func TestTransposeDualityGatesOnMulCommutativity(t *testing.T) {
+	left := semiring.Entry{
+		Name: "first.left",
+		Ops: semiring.Ops[float64]{
+			Name: "first.left",
+			Add: func(a, b float64) float64 {
+				if a != 0 {
+					return a
+				}
+				return b
+			},
+			Mul:   func(a, b float64) float64 { return a }, // non-commutative ⊗
+			Zero:  0,
+			One:   1,
+			Equal: func(a, b float64) bool { return a == b },
+		},
+		Sample: []float64{0, 1, 2, 3},
+	}
+	inst := Instance{Name: "asym", Edges: []Edge{
+		{Key: "e0", Src: "a", Dst: "b", Out: 2, In: 3},
+		{Key: "e1", Src: "b", Dst: "a", Out: 5, In: 7},
+	}}
+	inst.normalize()
+	if err := CheckTransposeDuality(inst, left); err != nil {
+		t.Errorf("non-commutative ⊗ must gate the law off, got: %v", err)
+	}
+}

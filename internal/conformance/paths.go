@@ -1,0 +1,156 @@
+package conformance
+
+import (
+	"fmt"
+	"sync"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/semiring"
+	"adjarray/internal/shard"
+	"adjarray/internal/stream"
+)
+
+// Path is one registered way of computing A = Eoutᵀ ⊕.⊗ Ein. Register a
+// Path and the differential executor, the quick-check test, and the
+// fuzz targets all cover the new backend with no further wiring.
+type Path struct {
+	// Name identifies the path in divergence reports.
+	Name string
+	// ReAssociates marks paths that regroup the per-cell ⊕ fold
+	// (partial-product merges): the executor compares them only when ⊕
+	// is associative on the instance's value closure, the same
+	// hypothesis the backends themselves guard.
+	ReAssociates bool
+	// Build constructs the adjacency array from the instance's incidence
+	// arrays. inst carries extra driving data some paths need (the
+	// stream path replays inst.Splits as separate batches).
+	Build func(eout, ein *assoc.Array[float64], ops semiring.Ops[float64], inst Instance) (*assoc.Array[float64], error)
+}
+
+// builtinPaths covers the five construction paths the repository ships.
+func builtinPaths() []Path {
+	return []Path{
+		{
+			Name: "csr-gustavson",
+			Build: func(eout, ein *assoc.Array[float64], ops semiring.Ops[float64], _ Instance) (*assoc.Array[float64], error) {
+				return assoc.Correlate(eout, ein, ops, assoc.MulOptions{Kernel: "gustavson"})
+			},
+		},
+		{
+			Name: "csr-twophase",
+			Build: func(eout, ein *assoc.Array[float64], ops semiring.Ops[float64], _ Instance) (*assoc.Array[float64], error) {
+				return assoc.Correlate(eout, ein, ops, assoc.MulOptions{Kernel: "twophase"})
+			},
+		},
+		{
+			Name: "parallel",
+			Build: func(eout, ein *assoc.Array[float64], ops semiring.Ops[float64], _ Instance) (*assoc.Array[float64], error) {
+				return assoc.Correlate(eout, ein, ops, assoc.MulOptions{Workers: 2})
+			},
+		},
+		{
+			Name:         "sharded",
+			ReAssociates: true,
+			Build: func(eout, ein *assoc.Array[float64], ops semiring.Ops[float64], _ Instance) (*assoc.Array[float64], error) {
+				return shard.Construct(eout, ein, ops, shard.Options{Shards: 3, Workers: 2})
+			},
+		},
+		{
+			Name:         "stream",
+			ReAssociates: true,
+			Build:        buildStream,
+		},
+	}
+}
+
+// buildStream replays the instance through an incremental stream.View:
+// one Append per split segment with a Snapshot between batches, so every
+// batch boundary becomes a fold re-association point — the most
+// adversarial grouping the incremental path can produce.
+func buildStream(_, _ *assoc.Array[float64], ops semiring.Ops[float64], inst Instance) (*assoc.Array[float64], error) {
+	v := stream.NewView(ops, stream.Options{})
+	prev := 0
+	cuts := append(append([]int{}, inst.Splits...), len(inst.Edges))
+	for _, cut := range cuts {
+		if cut <= prev {
+			continue
+		}
+		batch := make([]stream.Edge[float64], cut-prev)
+		for i, e := range inst.Edges[prev:cut] {
+			batch[i] = stream.Edge[float64]{Key: e.Key, Src: e.Src, Dst: e.Dst, Out: e.Out, In: e.In}
+		}
+		if err := v.Append(batch); err != nil {
+			return nil, err
+		}
+		// Force the pending backlog into the materialized level so the
+		// next batch folds against already-folded state.
+		if _, err := v.Snapshot(); err != nil {
+			return nil, err
+		}
+		prev = cut
+	}
+	snap, err := v.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return snap.Adjacency, nil
+}
+
+var (
+	pathMu     sync.Mutex
+	registered []Path
+)
+
+// Register adds a construction path to the global registry. Names must
+// be unique across built-ins and prior registrations.
+func Register(p Path) error {
+	if p.Name == "" || p.Build == nil {
+		return fmt.Errorf("conformance: path needs a name and a Build function")
+	}
+	pathMu.Lock()
+	defer pathMu.Unlock()
+	for _, q := range builtinPaths() {
+		if q.Name == p.Name {
+			return fmt.Errorf("conformance: path %q already registered", p.Name)
+		}
+	}
+	for _, q := range registered {
+		if q.Name == p.Name {
+			return fmt.Errorf("conformance: path %q already registered", p.Name)
+		}
+	}
+	registered = append(registered, p)
+	return nil
+}
+
+// Unregister removes a previously Registered path (built-ins cannot be
+// removed). It reports whether the name was found.
+func Unregister(name string) bool {
+	pathMu.Lock()
+	defer pathMu.Unlock()
+	for i, q := range registered {
+		if q.Name == name {
+			registered = append(registered[:i], registered[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Paths returns the built-in construction paths plus every Registered
+// one.
+func Paths() []Path {
+	pathMu.Lock()
+	defer pathMu.Unlock()
+	return append(builtinPaths(), registered...)
+}
+
+// PathNames returns the names of all current paths, built-ins first.
+func PathNames() []string {
+	ps := Paths()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}

@@ -1,0 +1,115 @@
+package conformance
+
+import "fmt"
+
+// Shrink minimizes a failing instance: a ddmin-style pass removes edge
+// chunks at doubling granularity while fails keeps reporting true, a
+// split-simplification pass drops batch boundaries, and a final
+// canonicalization renames the surviving keys to short stable names.
+// The result is the smallest instance the search finds that still
+// fails — typically a couple of edges — so divergence reports read like
+// hand-written regression tests instead of 100-edge random blobs.
+//
+// fails must be deterministic. Shrink never returns an instance for
+// which fails is false; if the input itself does not fail it is
+// returned unchanged.
+func Shrink(inst Instance, fails func(Instance) bool) Instance {
+	if !fails(inst) {
+		return inst
+	}
+	cur := inst
+
+	// ddmin over the edge list: try removing contiguous chunks, halving
+	// the chunk size whenever no removal sticks.
+	chunk := (len(cur.Edges) + 1) / 2
+	for chunk >= 1 && len(cur.Edges) > 1 {
+		removed := false
+		for start := 0; start < len(cur.Edges); {
+			end := start + chunk
+			if end > len(cur.Edges) {
+				end = len(cur.Edges)
+			}
+			cand := cur.withoutRange(start, end)
+			if fails(cand) {
+				cur = cand
+				removed = true
+				// Do not advance: the next chunk now starts here.
+			} else {
+				start = end
+			}
+		}
+		if !removed {
+			if chunk == 1 {
+				break
+			}
+			chunk /= 2
+		} else if chunk > len(cur.Edges) {
+			chunk = len(cur.Edges)
+		}
+	}
+
+	// Fewer batch boundaries are simpler; a single batch is simplest.
+	if len(cur.Splits) > 0 {
+		cand := cur
+		cand.Splits = nil
+		if fails(cand) {
+			cur = cand
+		}
+	}
+
+	// Canonical names: edge keys e00…, vertices a, b, … in first-use
+	// order. Adopted only when the failure is key-independent.
+	if cand := canonical(cur); fails(cand) {
+		cur = cand
+	}
+	return cur
+}
+
+// withoutRange copies the instance minus edges [lo, hi), remapping the
+// batch split points into the reduced index space.
+func (in Instance) withoutRange(lo, hi int) Instance {
+	out := Instance{Name: in.Name}
+	out.Edges = make([]Edge, 0, len(in.Edges)-(hi-lo))
+	out.Edges = append(out.Edges, in.Edges[:lo]...)
+	out.Edges = append(out.Edges, in.Edges[hi:]...)
+	for _, s := range in.Splits {
+		ns := s
+		if s > hi {
+			ns = s - (hi - lo)
+		} else if s > lo {
+			ns = lo
+		}
+		out.Splits = append(out.Splits, ns)
+	}
+	out.Splits = clampSplits(out.Splits, len(out.Edges))
+	return out
+}
+
+// canonical renames the instance's keys to minimal stable names while
+// preserving edge order, endpoint identity, and values.
+func canonical(in Instance) Instance {
+	names := map[string]string{}
+	next := 0
+	vertex := func(k string) string {
+		if n, ok := names[k]; ok {
+			return n
+		}
+		n := string(rune('a' + next%26))
+		if next >= 26 {
+			n = fmt.Sprintf("%s%d", n, next/26)
+		}
+		next++
+		names[k] = n
+		return n
+	}
+	out := Instance{Name: in.Name, Splits: append([]int{}, in.Splits...)}
+	out.Edges = make([]Edge, len(in.Edges))
+	for i, e := range in.Edges {
+		out.Edges[i] = Edge{
+			Key: fmt.Sprintf("e%02d", i),
+			Src: vertex(e.Src), Dst: vertex(e.Dst),
+			Out: e.Out, In: e.In,
+		}
+	}
+	return out
+}

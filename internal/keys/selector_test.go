@@ -1,0 +1,112 @@
+package keys
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Table-driven edge cases for the D4M selector parser: the malformed
+// shapes users actually type (empty range sides, reversed bounds,
+// unspaced colons) and the boundary behavior of prefixes containing
+// '*', unicode, and 0xff bytes.
+func TestParseEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		expr    string
+		wantErr bool
+		want    Selector // nil to skip the shape check
+	}{
+		{name: "all", expr: ":", want: All{}},
+		{name: "bare star is all", expr: "*", want: All{}},
+		{name: "empty", expr: "", wantErr: true},
+		{name: "whitespace only", expr: "   ", wantErr: true},
+		// " : " trims to ":" before shape dispatch, so it reads as the
+		// all-keys selector rather than a degenerate range.
+		{name: "empty range both sides is all", expr: " : ", want: All{}},
+		{name: "empty range lo", expr: " : z", wantErr: true},
+		{name: "empty range hi", expr: "a : ", wantErr: true},
+		{name: "reversed bounds", expr: "b : a", wantErr: true},
+		{name: "reversed unicode bounds", expr: "Ω : A", wantErr: true},
+		{name: "equal bounds", expr: "k : k", want: Range{Lo: "k", Hi: "k"}},
+		{name: "unspaced colon", expr: "a:b", wantErr: true},
+		{name: "half-spaced colon", expr: "a :b", wantErr: true},
+		{name: "prefix", expr: "Writer|*", want: Prefix{P: "Writer|"}},
+		{name: "star inside prefix", expr: "Wri*ter|*", want: Prefix{P: "Wri*ter|"}},
+		{name: "star inside plain key", expr: "a*b", want: NewList("a*b")},
+		{name: "unicode prefix", expr: "Genre|é*", want: Prefix{P: "Genre|é"}},
+		{name: "unicode range", expr: "Genre|A : Genre|Ω", want: Range{Lo: "Genre|A", Hi: "Genre|Ω"}},
+		{name: "list", expr: "k1,k2,k3", want: NewList("k1", "k2", "k3")},
+		{name: "list with empties", expr: "a,,b", want: NewList("a", "", "b")},
+		{name: "plain", expr: "plain", want: NewList("plain")},
+		{name: "range with extra colon", expr: "a : b : c", want: Range{Lo: "a", Hi: "b : c"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sel, err := Parse(tc.expr)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Parse(%q) accepted, want error (got %#v)", tc.expr, sel)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.expr, err)
+			}
+			if tc.want != nil && !reflect.DeepEqual(sel, tc.want) {
+				t.Fatalf("Parse(%q) = %#v, want %#v", tc.expr, sel, tc.want)
+			}
+		})
+	}
+}
+
+// Selection behavior at unicode and byte-value boundaries: prefixes
+// whose upper bound requires carrying past 0xff bytes, prefix-colliding
+// keys, and ranges that straddle multi-byte rune boundaries.
+func TestSelectUnicodeBoundaries(t *testing.T) {
+	set := New(
+		"", "v", "v|", "v|x", "vv", "v\x00", "v\xff", "v\xffz",
+		"é", "éa", "😀", "😀b", "\xff", "\xff\xff", "\xff\xffz",
+	)
+	cases := []struct {
+		name string
+		sel  Selector
+		want []string
+	}{
+		{"prefix v catches NUL and 0xff suffixes", Prefix{P: "v"},
+			[]string{"v", "v\x00", "vv", "v|", "v|x", "v\xff", "v\xffz"}},
+		{"prefix v| excludes plain v", Prefix{P: "v|"}, []string{"v|", "v|x"}},
+		{"prefix 0xff carries past the top byte", Prefix{P: "\xff"},
+			[]string{"\xff", "\xff\xff", "\xff\xffz"}},
+		{"prefix double-0xff", Prefix{P: "\xff\xff"}, []string{"\xff\xff", "\xff\xffz"}},
+		{"prefix astral rune", Prefix{P: "😀"}, []string{"😀", "😀b"}},
+		{"range across rune widths", Range{Lo: "v", Hi: "é"},
+			[]string{"v", "v\x00", "vv", "v|", "v|x", "v\xff", "v\xffz", "é"}},
+		{"range hi below all", Range{Lo: "", Hi: ""}, []string{""}},
+		{"empty-string key matches empty range", Range{Lo: "", Hi: "\x00"}, []string{""}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sub, idx := set.Select(tc.sel)
+			got := sub.Keys()
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("selected %q, want %q", got, tc.want)
+			}
+			if len(idx) != len(got) {
+				t.Fatalf("%d indices for %d keys", len(idx), len(got))
+			}
+			// The scan-window optimization must agree with plain Match.
+			for i := 0; i < set.Len(); i++ {
+				k := set.Key(i)
+				in := false
+				for _, g := range got {
+					if g == k {
+						in = true
+					}
+				}
+				if tc.sel.Match(k) != in {
+					t.Fatalf("window/Match disagree on %q", k)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package semiring
+
+import (
+	"math"
+
+	"adjarray/internal/value"
+)
+
+// AdversarialSample extends an entry's canonical domain sample with the
+// float64 values that historically break sparse-kernel agreement: NaN
+// (breaks the annihilator for +.* since 0 ⊗ NaN = NaN), both infinities
+// (the Zero element of the tropical pairs, and an absorbing non-zero for
+// others), signed zero, and exactly-representable dyadic magnitudes far
+// apart enough to exercise absorption without introducing rounding —
+// powers of two keep ⊕ = + exactly associative on sums of fewer than
+// 2^10 terms, so the conformance harness's associativity gate reflects
+// genuine algebra properties rather than float noise.
+//
+// The returned sample deliberately ventures OFF the pair's stated
+// domain (negative values for max.*, zero for min.*): the conformance
+// harness uses the Theorem II.1 condition check on the sample to decide
+// whether the dense oracle applies, so off-domain values downgrade an
+// instance to cross-kernel agreement checking instead of producing
+// false oracle mismatches.
+func (e Entry) AdversarialSample() []float64 {
+	extras := []float64{
+		math.NaN(),
+		value.PosInf,
+		value.NegInf,
+		0,
+		math.Copysign(0, -1),
+		0.25, 0.5,
+		-2,
+		1024,
+		1 << 20,
+	}
+	out := append([]float64{}, e.Sample...)
+	for _, x := range extras {
+		dup := false
+		for _, s := range out {
+			if value.Float64Equal(s, x) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, x)
+		}
+	}
+	return out
+}

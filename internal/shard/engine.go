@@ -72,6 +72,15 @@ func (e Engine[V]) CheckAssociative(arrays ...*assoc.Array[V]) error {
 // CheckAssociativeValues is CheckAssociative over an explicit value
 // sample — the entry point for callers that hold raw batch values
 // (internal/stream's fused ingest path) rather than arrays.
+//
+// Besides associativity it verifies that Zero is a two-sided ⊕-identity
+// on the sample: partial products prune cells that fold to the
+// algebra's Zero, and the merge treats the resulting absence as
+// "contributes nothing" — sound only when v ⊕ 0 = 0 ⊕ v = v. An
+// algebra with zero-divisor products and a non-identity Zero (max.+
+// anchored at 0 over signed data, where 2 ⊗ −2 = 0 but
+// max(−1, 0) ≠ −1) passes a pure associativity probe yet diverges;
+// the cross-backend conformance harness caught exactly that gap.
 func (e Engine[V]) CheckAssociativeValues(vals []V) error {
 	if len(vals) > 12 {
 		vals = vals[:12]
@@ -86,6 +95,12 @@ func (e Engine[V]) CheckAssociativeValues(vals []V) error {
 						"re-associated merge would diverge from the sequential fold", a, b, c)
 				}
 			}
+		}
+	}
+	for _, a := range vals {
+		if !e.Ops.Equal(e.Ops.Add(a, e.Ops.Zero), a) || !e.Ops.Equal(e.Ops.Add(e.Ops.Zero, a), a) {
+			return fmt.Errorf("shard: 0 is not a ⊕-identity on the data (%v); "+
+				"pruned partial-product cells would diverge from the sequential fold", a)
 		}
 	}
 	return nil

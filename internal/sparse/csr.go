@@ -43,24 +43,11 @@ func NewCSR[V any](rows, cols int, rowPtr, colIdx []int, val []V) (*CSR[V], erro
 	if len(rowPtr) != rows+1 {
 		return nil, fmt.Errorf("sparse: rowPtr length %d, want %d", len(rowPtr), rows+1)
 	}
-	if rowPtr[0] != 0 || rowPtr[rows] != len(colIdx) || len(colIdx) != len(val) {
-		return nil, fmt.Errorf("sparse: inconsistent nnz: rowPtr[0]=%d rowPtr[end]=%d colIdx=%d val=%d",
-			rowPtr[0], rowPtr[rows], len(colIdx), len(val))
+	m := &CSR[V]{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
-	for i := 0; i < rows; i++ {
-		if rowPtr[i] > rowPtr[i+1] {
-			return nil, fmt.Errorf("sparse: rowPtr not monotone at row %d", i)
-		}
-		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
-			if colIdx[p] < 0 || colIdx[p] >= cols {
-				return nil, fmt.Errorf("sparse: column %d out of range [0,%d) at row %d", colIdx[p], cols, i)
-			}
-			if p > rowPtr[i] && colIdx[p-1] >= colIdx[p] {
-				return nil, fmt.Errorf("sparse: columns not strictly increasing in row %d", i)
-			}
-		}
-	}
-	return &CSR[V]{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}, nil
+	return m, nil
 }
 
 // Empty returns an all-zero rows×cols matrix.

@@ -63,9 +63,10 @@ type Options struct {
 	// many appends — bounding drift for non-associative ⊕ and re-packing
 	// storage. 0 disables auto-compaction.
 	CompactEvery int
-	// CheckAssociative, when set, samples ⊕ for associativity over each
-	// batch's values before accepting it and fails the Append if the
-	// re-associated fold could diverge (the shard.Engine guard).
+	// CheckAssociative, when set, samples the delta-identity hypotheses
+	// (⊕ associative, Zero a ⊕-identity) over each batch's values before
+	// accepting it and fails the Append if the re-associated fold could
+	// diverge (the shard.Engine guard).
 	CheckAssociative bool
 	// PendingBudget bounds the delta backlog: once this many pending
 	// contribution entries accumulate they are folded into the main

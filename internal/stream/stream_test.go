@@ -183,10 +183,13 @@ func TestNonAssociativeDivergesAndCompactRecovers(t *testing.T) {
 		t.Error("Compact did not recover the batch result")
 	}
 
-	// With the guard on, the second append is refused up front.
+	// With the guard on the append is refused up front — at the FIRST
+	// batch already, because avg's Zero is not a ⊕-identity
+	// ((1 ⊕ 0)/2 = 0.5 ≠ 1), which breaks the guard's pruning
+	// hypothesis before associativity even enters.
 	g := NewView(avg, Options{CheckAssociative: true})
-	if err := g.Append(edges[:1]); err != nil {
-		t.Fatal(err)
+	if err := g.Append(edges[:1]); err == nil {
+		t.Error("guard accepted a pair whose Zero is not a ⊕-identity")
 	}
 	if err := g.Append(edges[1:]); err == nil {
 		t.Error("associativity guard missed a non-associative ⊕")
