@@ -230,7 +230,15 @@ func Build(req BuildRequest) (*BuildResult, error) { return core.Build(req) }
 // Incremental maintenance (streaming ingest).
 
 // StreamEdge is one ingested edge for a maintained adjacency view.
+// Weight presence is explicit (HasOut/HasIn); an unset side ingests as
+// the algebra's One — the unweighted convention.
 type StreamEdge[V any] = stream.Edge[V]
+
+// WeightedStreamEdge builds a StreamEdge with both incidence values
+// explicitly present.
+func WeightedStreamEdge[V any](key, src, dst string, out, in V) StreamEdge[V] {
+	return stream.Weighted(key, src, dst, out, in)
+}
 
 // StreamOptions tunes a maintained adjacency view (compaction cadence,
 // associativity guard, pending-fold budget).
@@ -284,6 +292,34 @@ func CorrelateKeys[V, W any](a *Array[V], b *Array[W]) (*Array[Set], error) {
 }
 
 // Graph algorithms on constructed adjacency arrays.
+//
+// Each algorithm has two execution forms: the package-level functions
+// below iterate the map-backed assoc.Mul reference, while CSRGraph
+// methods run the same iterations on integer-id CSR kernels with
+// automatic push–pull switching — bit-identical results, one to two
+// orders of magnitude faster (see cmd/graphbench -gen algo).
+
+// CSRGraph is the CSR-native execution form of an adjacency array:
+// integer vertex ids over the square union vertex space, with string
+// keys only at the API boundary. Its methods (BFSLevels, SSSP,
+// WidestPath, Components, TriangleCount, PageRank) mirror the
+// package-level functions.
+type CSRGraph = algo.Graph
+
+// NewCSRGraph builds a CSRGraph from an adjacency array, keeping stored
+// values as edge weights.
+func NewCSRGraph(a *Array[float64]) (*CSRGraph, error) { return algo.FromArray(a) }
+
+// NewCSRGraphPattern builds a CSRGraph from any array's pattern with
+// weight 1 per stored entry.
+func NewCSRGraphPattern[V any](a *Array[V]) (*CSRGraph, error) { return algo.FromPattern(a) }
+
+// CSRGraphFromSnapshot builds a CSRGraph from a live stream snapshot's
+// adjacency — the serving path: algorithm queries on a maintained view
+// while ingest continues.
+func CSRGraphFromSnapshot(s AdjacencySnapshot[float64]) (*CSRGraph, error) {
+	return algo.FromSnapshot(s)
+}
 
 // BFSLevels computes breadth-first hop counts from source over the
 // array's pattern (∨.∧ frontier expansion).

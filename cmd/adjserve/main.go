@@ -8,16 +8,30 @@
 //	src dst [out [in]]         (edge keys auto-assigned in arrival order)
 //	key src dst [out [in]]     (with -keyed; keys must arrive ascending)
 //
-// Omitted weights default to the algebra's One (the unweighted
-// convention). Lines starting with '#' and blank lines are skipped.
+// Omitted weights select the algebra's One (the unweighted convention);
+// provided weights are ingested literally, including the algebra's Zero
+// (which annihilates: such an edge contributes no adjacency entry).
+// Lines starting with '#' and blank lines are skipped.
 //
 // With -serve the process answers HTTP queries from live snapshots
 // while ingesting:
 //
-//	GET /stats              ingest counters (JSON)
-//	GET /at?src=a&dst=b     one adjacency entry
-//	GET /row?src=a          one row of the adjacency array
-//	GET /triples            the full adjacency as triples (small graphs)
+//	GET /stats               ingest counters (JSON)
+//	GET /at?src=a&dst=b      one adjacency entry
+//	GET /row?src=a           one row of the adjacency array
+//	GET /triples?limit=n     adjacency triples, capped (default 10000)
+//	GET /bfs?src=a           breadth-first levels from a   (CSR kernels)
+//	GET /sssp?src=a          min.+ shortest-path distances from a
+//	GET /widest?src=a        max.min bottleneck widths from a
+//	GET /pagerank?damping=&tol=&iters=   damped PageRank of the pattern
+//	GET /triangles           triangle count (symmetric patterns)
+//
+// Algorithm queries run on the CSR-native kernels over a Graph built
+// from the current snapshot and cached per epoch, so a burst of queries
+// against an unchanged graph pays the id-space embedding once.
+//
+// The process exits when the input stream ends (unless -serve keeps it
+// answering queries) and shuts down cleanly on SIGINT/SIGTERM.
 //
 // Usage:
 //
@@ -27,87 +41,207 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"adjarray/internal/algo"
 	"adjarray/internal/core"
 	"adjarray/internal/keys"
 	"adjarray/internal/stream"
 	"adjarray/internal/value"
 )
 
+// config carries the parsed flags.
+type config struct {
+	semiring     string
+	in           string
+	keyed        bool
+	batch        int
+	compactEvery int
+	check        bool
+	serve        string
+	flushEvery   time.Duration
+	skip         bool
+}
+
 func main() {
-	sr := flag.String("semiring", "+.*", "operator pair (registry name)")
-	in := flag.String("in", "-", "edge stream: file path or - for stdin")
-	keyed := flag.Bool("keyed", false, "lines carry an explicit leading edge key")
-	batch := flag.Int("batch", 512, "edges per delta batch")
-	compactEvery := flag.Int("compact-every", 0, "auto-Compact after this many batches (0 = never)")
-	check := flag.Bool("check", false, "sample the ⊕-associativity guard on every batch")
-	serve := flag.String("serve", "", "HTTP listen address for snapshot queries (e.g. :8080); empty = ingest only")
-	flushEvery := flag.Duration("flush-every", time.Second, "with -serve, flush partial batches at this interval so slow streams stay visible")
-	skip := flag.Bool("skip-condition-check", false, "accept pairs that fail the Theorem II.1 conditions")
+	var cfg config
+	flag.StringVar(&cfg.semiring, "semiring", "+.*", "operator pair (registry name)")
+	flag.StringVar(&cfg.in, "in", "-", "edge stream: file path or - for stdin")
+	flag.BoolVar(&cfg.keyed, "keyed", false, "lines carry an explicit leading edge key")
+	flag.IntVar(&cfg.batch, "batch", 512, "edges per delta batch")
+	flag.IntVar(&cfg.compactEvery, "compact-every", 0, "auto-Compact after this many batches (0 = never)")
+	flag.BoolVar(&cfg.check, "check", false, "sample the ⊕-associativity guard on every batch")
+	flag.StringVar(&cfg.serve, "serve", "", "HTTP listen address for snapshot queries (e.g. :8080); empty = ingest only")
+	flag.DurationVar(&cfg.flushEvery, "flush-every", time.Second, "with -serve, flush partial batches at this interval so slow streams stay visible")
+	flag.BoolVar(&cfg.skip, "skip-condition-check", false, "accept pairs that fail the Theorem II.1 conditions")
 	flag.Parse()
 
-	ing, err := core.NewIngest(core.IngestOptions{
-		Semiring:  *sr,
-		BatchSize: *batch,
-		Stream: stream.Options{
-			CompactEvery:     *compactEvery,
-			CheckAssociative: *check,
-		},
-		SkipConditionCheck: *skip,
-	})
-	if err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "adjserve:", err)
 		os.Exit(1)
 	}
+}
 
-	// The accumulator is not safe for concurrent Add/Flush, so the
-	// ingest loop and the periodic flusher share a mutex. Snapshot
-	// queries go straight to the View, which has its own locking.
+// run owns the whole process lifecycle. Fatal conditions propagate as
+// errors back to main — no goroutine calls os.Exit, so deferred cleanup
+// (closing the input file, shutting the server down) always runs — and
+// SIGINT/SIGTERM cancel the context for a clean exit instead of the
+// process parking on a bare select {} forever.
+func run(cfg config) error {
+	ing, err := core.NewIngest(core.IngestOptions{
+		Semiring:  cfg.semiring,
+		BatchSize: cfg.batch,
+		Stream: stream.Options{
+			CompactEvery:     cfg.compactEvery,
+			CheckAssociative: cfg.check,
+		},
+		SkipConditionCheck: cfg.skip,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The accumulator is not safe for concurrent Add/Flush, so the ingest
+	// loop and the periodic flusher share a mutex. Snapshot queries go
+	// straight to the View, which has its own locking.
 	var mu sync.Mutex
-	if *serve != "" {
+	fatal := make(chan error, 2) // server or flusher failure
+
+	var srv *http.Server
+	if cfg.serve != "" {
+		srv = &http.Server{
+			Addr:    cfg.serve,
+			Handler: handler(ing),
+			// Slow or stalled clients must not pin serving goroutines (or
+			// hold snapshot memory) forever.
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       60 * time.Second,
+		}
 		go func() {
-			if err := http.ListenAndServe(*serve, handler(ing)); err != nil {
-				fmt.Fprintln(os.Stderr, "adjserve: serve:", err)
-				os.Exit(1)
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fatal <- fmt.Errorf("serve: %w", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "adjserve: serving snapshot queries on %s\n", *serve)
-		if *flushEvery > 0 {
-			go func() {
-				for range time.Tick(*flushEvery) {
+		defer func() {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutCtx)
+		}()
+		fmt.Fprintf(os.Stderr, "adjserve: serving snapshot queries on %s\n", cfg.serve)
+	}
+
+	// The flusher keeps partial batches visible on slow streams. It is a
+	// ticker goroutine with an explicit stop: once the input stream ends
+	// (or the process is interrupted) it terminates instead of flushing —
+	// and leaking — forever, as the old time.Tick loop did.
+	flushStop := make(chan struct{})
+	var flushWG sync.WaitGroup
+	if srv != nil && cfg.flushEvery > 0 {
+		flushWG.Add(1)
+		go func() {
+			defer flushWG.Done()
+			t := time.NewTicker(cfg.flushEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-flushStop:
+					return
+				case <-ctx.Done():
+					return
+				case <-t.C:
 					mu.Lock()
 					err := ing.Flush()
 					mu.Unlock()
 					if err != nil {
-						fmt.Fprintln(os.Stderr, "adjserve: flush:", err)
-						os.Exit(1)
+						fatal <- fmt.Errorf("flush: %w", err)
+						return
 					}
 				}
-			}()
-		}
+			}
+		}()
 	}
 
-	src := os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
+	src := io.Reader(os.Stdin)
+	if cfg.in != "-" {
+		f, err := os.Open(cfg.in)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "adjserve:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		src = f
 	}
 
 	start := time.Now()
-	lines, edges := 0, 0
+	ingested := make(chan error, 1)
+	var edges int
+	go func() { ingested <- ingest(src, cfg.keyed, ing, &mu, &edges) }()
+
+	select {
+	case err := <-ingested:
+		if err != nil {
+			return err
+		}
+	case err := <-fatal:
+		return err
+	case <-ctx.Done():
+		// Interrupted mid-stream: report what was ingested and exit
+		// cleanly (deferred server shutdown and file close still run).
+		close(flushStop)
+		flushWG.Wait()
+		fmt.Fprintln(os.Stderr, "adjserve: interrupted")
+		return nil
+	}
+	close(flushStop)
+	flushWG.Wait()
+
+	mu.Lock()
+	_, err = ing.Snapshot() // flush + materialize for the final stats
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	st := ing.View().Stats()
+	fmt.Fprintf(os.Stderr,
+		"adjserve: ingested %d edges in %v — %d out-vertices, %d in-vertices, %d adjacency entries (%d pending), exact=%v\n",
+		edges, time.Since(start).Round(time.Millisecond),
+		st.OutVertices, st.InVertices, st.AdjNNZ, st.PendingNNZ, st.Exact)
+
+	if srv != nil {
+		fmt.Fprintln(os.Stderr, "adjserve: stream ended; still serving (interrupt to exit)")
+		select {
+		case <-ctx.Done():
+			return nil
+		case err := <-fatal:
+			return err
+		}
+	}
+	return nil
+}
+
+// ingest drains the edge stream into the accumulator, counting accepted
+// edges through *edges (written before the channel send in run's select,
+// so the count is safely published).
+func ingest(src io.Reader, keyed bool, ing *core.Ingest, mu *sync.Mutex, edges *int) error {
+	lines := 0
 	sc := bufio.NewScanner(src)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
@@ -116,45 +250,28 @@ func main() {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		e, err := parseEdge(line, *keyed)
+		e, err := parseEdge(line, keyed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "adjserve: line %d: %v\n", lines, err)
-			os.Exit(1)
+			return fmt.Errorf("line %d: %w", lines, err)
 		}
 		mu.Lock()
 		err = ing.Add(e)
 		mu.Unlock()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "adjserve: line %d: %v\n", lines, err)
-			os.Exit(1)
+			return fmt.Errorf("line %d: %w", lines, err)
 		}
-		edges++
+		*edges++
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "adjserve: read:", err)
-		os.Exit(1)
+		return fmt.Errorf("read: %w", err)
 	}
-	mu.Lock()
-	_, err = ing.Snapshot() // flush + materialize for the final stats
-	mu.Unlock()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "adjserve:", err)
-		os.Exit(1)
-	}
-
-	st := ing.View().Stats()
-	fmt.Fprintf(os.Stderr,
-		"adjserve: ingested %d edges in %v — %d out-vertices, %d in-vertices, %d adjacency entries (%d pending), exact=%v\n",
-		edges, time.Since(start).Round(time.Millisecond),
-		st.OutVertices, st.InVertices, st.AdjNNZ, st.PendingNNZ, st.Exact)
-
-	if *serve != "" {
-		fmt.Fprintln(os.Stderr, "adjserve: stream ended; still serving (interrupt to exit)")
-		select {}
-	}
+	return nil
 }
 
-// parseEdge splits one stream line into an Edge.
+// parseEdge splits one stream line into an Edge. Weight presence is
+// positional: a provided field sets the corresponding Has flag, so an
+// explicit weight round-trips even when it equals the algebra's Zero,
+// and an omitted one selects the algebra's One.
 func parseEdge(line string, keyed bool) (stream.Edge[float64], error) {
 	var e stream.Edge[float64]
 	f := strings.Fields(line)
@@ -173,14 +290,47 @@ func parseEdge(line string, keyed bool) (stream.Edge[float64], error) {
 		if e.Out, err = value.ParseFloat(f[2]); err != nil {
 			return e, fmt.Errorf("out weight: %w", err)
 		}
+		e.HasOut = true
 	}
 	if len(f) > 3 {
 		if e.In, err = value.ParseFloat(f[3]); err != nil {
 			return e, fmt.Errorf("in weight: %w", err)
 		}
+		e.HasIn = true
 	}
 	return e, nil
 }
+
+// graphCache memoizes the CSR-native algo.Graph per snapshot epoch:
+// algorithm queries between ingest batches reuse one id-space embedding
+// (and its lazily built transpose) instead of rebuilding per request.
+type graphCache struct {
+	mu    sync.Mutex
+	epoch int
+	g     *algo.Graph
+}
+
+func (c *graphCache) get(ing *core.Ingest) (*algo.Graph, stream.Snapshot[float64], error) {
+	snap, err := ing.View().Snapshot()
+	if err != nil {
+		return nil, snap, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.g == nil || c.epoch != snap.Epoch {
+		g, err := algo.FromSnapshot(snap)
+		if err != nil {
+			return nil, snap, err
+		}
+		c.g, c.epoch = g, snap.Epoch
+	}
+	return c.g, snap, nil
+}
+
+// triplesCap is the default (and maximum-less) /triples row budget; a
+// large graph must not OOM the serving process because one client asked
+// for everything.
+const triplesCap = 10000
 
 // handler builds the snapshot-query mux. Every request takes its own
 // snapshot: O(1) unless appends happened since the last read, and never
@@ -193,6 +343,30 @@ func handler(ing *core.Ingest) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}
+	// JSON has no ±Inf/NaN, but the tropical algebras store them as
+	// ordinary values (an unweighted max.min edge is width +Inf); render
+	// non-finite floats with the library's FormatFloat convention.
+	safeFloat := func(v float64) any {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return value.FormatFloat(v)
+		}
+		return v
+	}
+	safeFloatMap := func(m map[string]float64) map[string]any {
+		out := make(map[string]any, len(m))
+		for k, v := range m {
+			out[k] = safeFloat(v)
+		}
+		return out
+	}
+	snapshot := func(w http.ResponseWriter) (stream.Snapshot[float64], bool) {
+		snap, err := ing.View().Snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return snap, false
+		}
+		return snap, true
+	}
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ing.View().Stats())
 	})
@@ -202,13 +376,12 @@ func handler(ing *core.Ingest) http.Handler {
 			http.Error(w, "want ?src=...&dst=...", http.StatusBadRequest)
 			return
 		}
-		snap, err := ing.View().Snapshot()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		snap, ok := snapshot(w)
+		if !ok {
 			return
 		}
-		val, ok := snap.Adjacency.At(src, dst)
-		writeJSON(w, map[string]any{"src": src, "dst": dst, "value": val, "stored": ok, "epoch": snap.Epoch})
+		val, stored := snap.Adjacency.At(src, dst)
+		writeJSON(w, map[string]any{"src": src, "dst": dst, "value": safeFloat(val), "stored": stored, "epoch": snap.Epoch})
 	})
 	mux.HandleFunc("/row", func(w http.ResponseWriter, r *http.Request) {
 		src := r.URL.Query().Get("src")
@@ -216,24 +389,130 @@ func handler(ing *core.Ingest) http.Handler {
 			http.Error(w, "want ?src=...", http.StatusBadRequest)
 			return
 		}
-		snap, err := ing.View().Snapshot()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		snap, ok := snapshot(w)
+		if !ok {
 			return
 		}
-		row := map[string]float64{}
+		row := map[string]any{}
 		snap.Adjacency.SubRef(keys.Range{Lo: src, Hi: src}, nil).Iterate(func(_, d string, v float64) {
-			row[d] = v
+			row[d] = safeFloat(v)
 		})
 		writeJSON(w, map[string]any{"src": src, "row": row, "epoch": snap.Epoch})
 	})
 	mux.HandleFunc("/triples", func(w http.ResponseWriter, r *http.Request) {
-		snap, err := ing.View().Snapshot()
+		limit := triplesCap
+		if s := r.URL.Query().Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		snap, ok := snapshot(w)
+		if !ok {
+			return
+		}
+		total := snap.Adjacency.NNZ()
+		// Collect through Iterate so memory is O(limit), never O(nnz):
+		// the cap must protect the process, not just the response size.
+		prealloc := limit
+		if total < prealloc {
+			prealloc = total
+		}
+		rows := make([]map[string]any, 0, prealloc)
+		snap.Adjacency.Iterate(func(rk, ck string, v float64) {
+			if len(rows) < limit {
+				rows = append(rows, map[string]any{"row": rk, "col": ck, "val": safeFloat(v)})
+			}
+		})
+		writeJSON(w, map[string]any{
+			"triples": rows, "total": total, "truncated": total > limit,
+			"epoch": snap.Epoch, "exact": snap.Exact,
+		})
+	})
+
+	// Algorithm endpoints: CSR-native kernels over the per-epoch cached
+	// Graph. A source that is not a vertex is the client's error (404);
+	// an algorithm refusing the instance (asymmetric triangles, no
+	// fixpoint) is 422.
+	cache := &graphCache{}
+	algoQuery := func(w http.ResponseWriter, compute func(g *algo.Graph) (any, error)) {
+		g, snap, err := cache.get(ing)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, map[string]any{"triples": snap.Adjacency.Triples(), "epoch": snap.Epoch, "exact": snap.Exact})
+		res, err := compute(g)
+		if err != nil {
+			status := http.StatusUnprocessableEntity
+			if errors.Is(err, algo.ErrNotVertex) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, map[string]any{"result": res, "epoch": snap.Epoch, "exact": snap.Exact})
+	}
+	sourceQuery := func(run func(g *algo.Graph, src string) (any, error)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			src := r.URL.Query().Get("src")
+			if src == "" {
+				http.Error(w, "want ?src=...", http.StatusBadRequest)
+				return
+			}
+			algoQuery(w, func(g *algo.Graph) (any, error) { return run(g, src) })
+		}
+	}
+	mux.HandleFunc("/bfs", sourceQuery(func(g *algo.Graph, src string) (any, error) {
+		return g.BFSLevels(src)
+	}))
+	mux.HandleFunc("/sssp", sourceQuery(func(g *algo.Graph, src string) (any, error) {
+		dist, err := g.SSSP(src)
+		if err != nil {
+			return nil, err
+		}
+		return safeFloatMap(dist), nil
+	}))
+	mux.HandleFunc("/widest", sourceQuery(func(g *algo.Graph, src string) (any, error) {
+		width, err := g.WidestPath(src)
+		if err != nil {
+			return nil, err
+		}
+		return safeFloatMap(width), nil
+	}))
+	mux.HandleFunc("/triangles", func(w http.ResponseWriter, r *http.Request) {
+		algoQuery(w, func(g *algo.Graph) (any, error) { return g.TriangleCount() })
+	})
+	mux.HandleFunc("/pagerank", func(w http.ResponseWriter, r *http.Request) {
+		damping, tol, iters := 0.85, 1e-9, 100
+		q := r.URL.Query()
+		var err error
+		if s := q.Get("damping"); s != "" {
+			if damping, err = strconv.ParseFloat(s, 64); err != nil {
+				http.Error(w, "bad damping", http.StatusBadRequest)
+				return
+			}
+		}
+		if s := q.Get("tol"); s != "" {
+			if tol, err = strconv.ParseFloat(s, 64); err != nil {
+				http.Error(w, "bad tol", http.StatusBadRequest)
+				return
+			}
+		}
+		if s := q.Get("iters"); s != "" {
+			if iters, err = strconv.Atoi(s); err != nil || iters <= 0 {
+				http.Error(w, "bad iters", http.StatusBadRequest)
+				return
+			}
+		}
+		algoQuery(w, func(g *algo.Graph) (any, error) {
+			rank, used, err := g.PageRank(damping, tol, iters)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]any{"rank": rank, "iterations": used}, nil
+		})
 	})
 	return mux
 }

@@ -10,6 +10,7 @@
 //	graphbench -gen er -n 2000 -p 0.002
 //	graphbench -gen rmat -scale 12 -ef 8 -backend parallel -workers 8
 //	graphbench -gen stream -scale 12 -deltas 100
+//	graphbench -gen algo             # algorithm kernels, assoc vs CSR
 //	graphbench -json BENCH.json      # also write a machine-readable baseline
 //
 // The stream workload measures incremental maintenance: a warm
@@ -17,6 +18,13 @@
 // two rows come out — backend "stream_append" (mean wall time per
 // delta-batch Append) and "stream_rebuild" (what the same delta would
 // cost with a full Correlate rebuild at final size).
+//
+// The algo workload times the graph algorithms (BFS, SSSP, PageRank)
+// on rmat-s12 and rmat-s14 adjacency arrays, one row per algorithm per
+// execution path: backend "algo_<name>_assoc" iterates the map-backed
+// assoc.Mul reference, backend "algo_<name>_csr" runs the CSR-native
+// integer-id kernels. Both paths are cross-checked for equal results
+// before their timings are reported.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"runtime"
 	"time"
 
+	"adjarray/internal/algo"
 	"adjarray/internal/assoc"
 	"adjarray/internal/core"
 	"adjarray/internal/dataset"
@@ -62,7 +71,7 @@ type jsonBaseline struct {
 }
 
 func main() {
-	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | stream | sweep")
+	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | stream | algo | sweep")
 	deltas := flag.Int("deltas", 100, "stream workload: number of 1%% delta batches")
 	scale := flag.Int("scale", 10, "R-MAT scale (2^scale vertices)")
 	ef := flag.Int("ef", 8, "R-MAT edge factor")
@@ -191,7 +200,7 @@ func main() {
 		nextBatch := func() []stream.Edge[float64] {
 			for i := range batch {
 				e := es[sg.Intn(len(es))]
-				batch[i] = stream.Edge[float64]{Key: fmt.Sprintf("e%08d", seq), Src: e.Src, Dst: e.Dst, Out: 1, In: 1}
+				batch[i] = stream.Weighted(fmt.Sprintf("e%08d", seq), e.Src, e.Dst, 1.0, 1)
 				seq++
 			}
 			return batch
@@ -251,6 +260,87 @@ func main() {
 		}
 	}
 
+	// runAlgo measures the algorithm arms: the assoc.Mul reference loop
+	// against the CSR-native kernels on one adjacency array, with the
+	// results differentially checked before timings count.
+	runAlgo := func(name string, g *graph.Graph) {
+		one := func(graph.Edge) float64 { return 1 }
+		eout, ein, err := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench:", err)
+			os.Exit(1)
+		}
+		res, err := core.Build(core.Request{Eout: eout, Ein: ein, Semiring: *sr, Backend: core.BackendCSR})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench:", err)
+			os.Exit(1)
+		}
+		adj := res.Adjacency
+		cg, err := algo.FromArray(adj)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphbench:", err)
+			os.Exit(1)
+		}
+		// Deterministic high-degree source.
+		src := adj.RowKeys().Key(0)
+		best := -1
+		for i := 0; i < adj.RowKeys().Len(); i++ {
+			if d := adj.Matrix().RowNNZ(i); d > best {
+				best, src = d, adj.RowKeys().Key(i)
+			}
+		}
+		const damping, tol, prIters = 0.85, 1e-10, 30
+		arms := []struct {
+			backend string
+			run     func() (any, error)
+		}{
+			{"algo_bfs_assoc", func() (any, error) { return algo.BFSLevels(adj, src) }},
+			{"algo_bfs_csr", func() (any, error) { return cg.BFSLevels(src) }},
+			{"algo_sssp_assoc", func() (any, error) { return algo.SSSP(adj, src) }},
+			{"algo_sssp_csr", func() (any, error) { return cg.SSSP(src) }},
+			{"algo_pagerank_assoc", func() (any, error) {
+				rank, _, err := algo.PageRank(adj, damping, tol, prIters)
+				return rank, err
+			}},
+			{"algo_pagerank_csr", func() (any, error) {
+				rank, _, err := cg.PageRank(damping, tol, prIters)
+				return rank, err
+			}},
+		}
+		results := make([]any, len(arms))
+		for i, arm := range arms {
+			var elapsed time.Duration
+			for rep := 0; rep < *reps || rep == 0; rep++ {
+				start := time.Now()
+				out, err := arm.run()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "graphbench: %s: %v\n", arm.backend, err)
+					os.Exit(1)
+				}
+				if e := time.Since(start); rep == 0 || e < elapsed {
+					elapsed = e
+				}
+				results[i] = out
+			}
+			// Each csr arm must reproduce its assoc oracle exactly.
+			if i%2 == 1 && fmt.Sprintf("%v", results[i]) != fmt.Sprintf("%v", results[i-1]) {
+				fmt.Fprintf(os.Stderr, "graphbench: VERIFY FAILED: %s diverges from %s on %s\n",
+					arm.backend, arms[i-1].backend, name)
+				os.Exit(1)
+			}
+			rows = append(rows, []string{
+				name, fmt.Sprint(g.Vertices().Len()), fmt.Sprint(g.NumEdges()), *sr,
+				arm.backend, "1", fmt.Sprint(adj.NNZ()),
+				elapsed.Round(time.Microsecond).String(),
+			})
+			jrows = append(jrows, jsonRow{
+				Generator: name, Vertices: g.Vertices().Len(), Edges: g.NumEdges(),
+				Semiring: *sr, Backend: arm.backend, Workers: 1,
+				NNZ: adj.NNZ(), BuildNs: elapsed.Nanoseconds(),
+			})
+		}
+	}
+
 	r := rand.New(rand.NewSource(*seed))
 	switch *gen {
 	case "rmat":
@@ -261,6 +351,10 @@ func main() {
 		run("bipartite", dataset.Bipartite(r, *n, *n, *n**ef))
 	case "stream":
 		runStream(fmt.Sprintf("rmat-s%d", *scale), dataset.RMAT(r, *scale, *ef), *deltas)
+	case "algo":
+		for _, s := range []int{12, 14} {
+			runAlgo(fmt.Sprintf("rmat-s%d", s), dataset.RMAT(rand.New(rand.NewSource(*seed)), s, *ef))
+		}
 	case "sweep":
 		for _, s := range []int{8, 10, 12} {
 			run(fmt.Sprintf("rmat-s%d", s), dataset.RMAT(r, s, *ef))

@@ -72,9 +72,9 @@ func main() {
 	}
 	w := adjarray.NewAdjacencyView(avg, adjarray.StreamOptions{})
 	weighted := []adjarray.StreamEdge[float64]{
-		{Src: "a", Dst: "b", Out: 1},
-		{Src: "a", Dst: "b", Out: 3},
-		{Src: "a", Dst: "b", Out: 5},
+		{Src: "a", Dst: "b", Out: 1, HasOut: true},
+		{Src: "a", Dst: "b", Out: 3, HasOut: true},
+		{Src: "a", Dst: "b", Out: 5, HasOut: true},
 	}
 	if err := w.Append(weighted[:1]); err != nil {
 		log.Fatal(err)

@@ -157,3 +157,54 @@ func TestFacadeConformance(t *testing.T) {
 		t.Fatalf("construction paths diverged: %s", d.Error())
 	}
 }
+
+func TestFacadeCSRGraphAndStreaming(t *testing.T) {
+	// A maintained view ingests a mix of weighted and unweighted edges
+	// under max.min — the widest-path pair whose One (+Inf) the old
+	// Zero-sentinel convention could not produce from Go zero values.
+	v := adjarray.NewAdjacencyView(adjarray.MaxMin(), adjarray.StreamOptions{})
+	if err := v.Append([]adjarray.StreamEdge[float64]{
+		{Src: "a", Dst: "b"}, // unweighted: width +Inf
+		adjarray.WeightedStreamEdge("", "b", "c", 3.0, 3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := v.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := snap.Adjacency.At("a", "b"); !ok || !math.IsInf(w, 1) {
+		t.Fatalf("unweighted max.min edge = %v (stored=%v), want +Inf", w, ok)
+	}
+
+	g, err := adjarray.CSRGraphFromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width, err := g.WidestPath("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := adjarray.WidestPath(snap.Adjacency, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(width) != len(oracle) || width["c"] != oracle["c"] || width["c"] != 3 {
+		t.Fatalf("CSR widest = %v, oracle = %v", width, oracle)
+	}
+
+	cg, err := adjarray.NewCSRGraph(snap.Adjacency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := cg.BFSLevels("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels["c"] != 2 {
+		t.Fatalf("CSR BFS levels = %v", levels)
+	}
+	if _, err := adjarray.NewCSRGraphPattern(snap.Adjacency); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,26 @@
 // left-projection for label-propagation components, and +.× for
 // triangle counting and PageRank — the GraphBLAS catalogue, built on
 // the same Mul kernel as the paper's figures.
+//
+// Each algorithm exists in two forms:
+//
+//   - The package-level functions over *assoc.Array iterate the string
+//     keyed, map-backed assoc.Mul directly. They are the readable
+//     reference implementations and serve as the differential oracles.
+//   - The methods on Graph run the same iterations on integer-id
+//     sparse-vector kernels (sparse.SpMSpVPush / sparse.SpMVPull) over
+//     the adjacency's CSR embedded in the square union vertex space,
+//     switching push→pull automatically as the frontier densifies, with
+//     a lazily built transpose for the pull direction and string↔id
+//     translation only at the API boundary. Results are BIT-identical
+//     to the reference forms — the kernels share their fold order
+//     (ascending in-neighbor id per output, Definition I.3) and their
+//     Zero-pruning — at one to two orders of magnitude less cost; see
+//     BenchmarkAlgo* and cmd/graphbench -gen algo.
+//
+// Graphs built with FromSnapshot read a stream.View's maintained CSR
+// directly, which is how cmd/adjserve answers /bfs, /sssp, /widest,
+// /pagerank and /triangles from live snapshots during ingest.
 package algo
 
 import (
@@ -318,11 +338,14 @@ func PageRank[V any](a *assoc.Array[V], damping, tol float64, maxIter int) (map[
 			return nil, 0, err
 		}
 		flow := vectorEntries(flowed)
-		// Dangling vertices leak their rank; redistribute uniformly.
+		// Dangling vertices leak their rank; redistribute uniformly. The
+		// sum runs in vertex-key order so the float fold is deterministic
+		// (map iteration order would make reruns differ in final bits).
 		dangling := 0.0
-		for v, r := range rank {
+		for i := 0; i < n; i++ {
+			v := verts.Key(i)
 			if _, hasOut := outDeg[v]; !hasOut {
-				dangling += r
+				dangling += rank[v]
 			}
 		}
 		base := (1-damping)/float64(n) + damping*dangling/float64(n)

@@ -1,0 +1,469 @@
+package algo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/keys"
+	"adjarray/internal/semiring"
+	"adjarray/internal/sparse"
+	"adjarray/internal/stream"
+	"adjarray/internal/value"
+)
+
+// Graph is the CSR-native execution form of an adjacency array: the
+// array's sparse matrix embedded into the SQUARE union vertex space
+// (rows ∪ cols), with vertices as integer ids and string keys resolved
+// only at the API boundary. Every algorithm in this package has a
+// method form on Graph running on the integer-id kernels; the package
+// functions over *assoc.Array remain as the map-backed reference
+// implementations (the differential oracles).
+//
+// A Graph is immutable and safe for concurrent use; the transpose
+// needed by the pull kernels is built lazily, once, on first use.
+type Graph struct {
+	verts *keys.Set
+	adj   *sparse.CSR[float64]
+
+	trOnce sync.Once
+	tr     *sparse.CSR[float64]
+
+	prOnce sync.Once
+	prNorm *sparse.CSR[float64] // PageRank's out-degree-normalized Aᵀ
+}
+
+// ErrNotVertex is wrapped by every source-taking algorithm when the
+// requested source key is absent — callers (the adjserve endpoints)
+// branch on it with errors.Is instead of matching message text.
+var ErrNotVertex = errors.New("is not a vertex of the array")
+
+// FromArray builds a Graph from an adjacency array, keeping the stored
+// values as edge weights. Embedding into the union vertex space copies
+// index structure but never values; when the array is already square
+// over one key set, its matrix is used as-is.
+func FromArray(a *assoc.Array[float64]) (*Graph, error) {
+	verts := a.RowKeys().Union(a.ColKeys())
+	sq, err := a.EmbedInto(verts, verts)
+	if err != nil {
+		return nil, fmt.Errorf("algo: embed into vertex space: %w", err)
+	}
+	return &Graph{verts: verts, adj: sq.Matrix()}, nil
+}
+
+// FromPattern builds a Graph from any array's pattern with weight 1 per
+// stored entry — the form the structural algorithms (BFS, Components,
+// TriangleCount, PageRank) consume.
+func FromPattern[V any](a *assoc.Array[V]) (*Graph, error) {
+	ones := assoc.Convert(a, func(_, _ string, _ V) float64 { return 1 })
+	return FromArray(ones)
+}
+
+// FromSnapshot builds a Graph from a live stream snapshot's adjacency —
+// the serving path: the snapshot is O(1) to take and immutable, so the
+// Graph reads the maintained CSR directly while ingest continues.
+func FromSnapshot(s stream.Snapshot[float64]) (*Graph, error) {
+	return FromArray(s.Adjacency)
+}
+
+// Vertices returns the graph's ordered vertex key set.
+func (g *Graph) Vertices() *keys.Set { return g.verts }
+
+// NumEdges returns the number of stored adjacency entries.
+func (g *Graph) NumEdges() int { return g.adj.NNZ() }
+
+// transpose returns the cached Aᵀ, building it on first use (the pull
+// kernels and PageRank gather along in-edges).
+func (g *Graph) transpose() *sparse.CSR[float64] {
+	g.trOnce.Do(func() { g.tr = g.adj.Transpose() })
+	return g.tr
+}
+
+func (g *Graph) vertex(source string) (int, error) {
+	id, ok := g.verts.IndexSorted(source)
+	if !ok {
+		return 0, fmt.Errorf("algo: source %q %w", source, ErrNotVertex)
+	}
+	return id, nil
+}
+
+// pullAlpha tunes the push→pull switch: a step runs pull once the edges
+// leaving the frontier exceed nnz/pullAlpha, i.e. a push would touch a
+// comparable share of the matrix anyway and one sequential transpose
+// scan wins over scattered writes.
+const pullAlpha = 8
+
+// frontierEdges sums the out-degrees of the frontier rows.
+func (g *Graph) frontierEdges(ids []int) int {
+	e := 0
+	for _, u := range ids {
+		e += g.adj.RowNNZ(u)
+	}
+	return e
+}
+
+// BFSLevels is the CSR-native form of the package-level BFSLevels:
+// breadth-first hop counts from source over the adjacency pattern,
+// direction-optimizing — sparse frontiers push along out-edges, dense
+// frontiers pull along in-edges with early exit per vertex.
+func (g *Graph) BFSLevels(source string) (map[string]int, error) {
+	src, err := g.vertex(source)
+	if err != nil {
+		return nil, err
+	}
+	n := g.verts.Len()
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := []int{src}
+	var next []int
+	for depth := 1; len(frontier) > 0; depth++ {
+		next = next[:0]
+		if g.frontierEdges(frontier)*pullAlpha > g.adj.NNZ() {
+			// Pull: every undiscovered vertex scans its in-neighbors for a
+			// member of the current frontier; first hit wins.
+			t := g.transpose()
+			for v := 0; v < n; v++ {
+				if level[v] >= 0 {
+					continue
+				}
+				cols, _ := t.Row(v)
+				for _, u := range cols {
+					if level[u] == depth-1 {
+						level[v] = depth
+						next = append(next, v)
+						break
+					}
+				}
+			}
+		} else {
+			for _, u := range frontier {
+				cols, _ := g.adj.Row(u)
+				for _, v := range cols {
+					if level[v] < 0 {
+						level[v] = depth
+						next = append(next, v)
+					}
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	out := make(map[string]int)
+	for i, l := range level {
+		if l >= 0 {
+			out[g.verts.Key(i)] = l
+		}
+	}
+	return out, nil
+}
+
+// relaxToFixpoint runs the shared frontier-relaxation loop of the
+// weighted algorithms: starting from a single seeded value, it iterates
+// dist' = dist ⊕ (dist ⊕.⊗ A) to fixpoint, keeping the active set
+// sparse. Contributions to an output fold in ascending in-neighbor
+// order (the kernels' contract), folds equal to the algebra's Zero are
+// pruned, and a merge leaves a stored value in place unless ⊕ moves it
+// — exactly the semantics of the assoc reference loop, so converged
+// results are bit-identical. Returns the dense value array and its
+// presence mask, or an error after bound unconverged rounds.
+func (g *Graph) relaxToFixpoint(src int, seed float64, ops semiring.Ops[float64], bound int, diverged string) ([]float64, []bool, error) {
+	n := g.verts.Len()
+	val := make([]float64, n)
+	has := make([]bool, n)
+	val[src], has[src] = seed, true
+
+	frontier := []int{src}
+	frontVals := []float64{seed}
+	frontMask := make([]bool, n)
+	acc := make([]float64, n)
+	hit := make([]bool, n)
+	var touched []int
+	nnz := g.adj.NNZ()
+	for round := 0; len(frontier) > 0; round++ {
+		if round > bound {
+			return nil, nil, fmt.Errorf("algo: %s", diverged)
+		}
+		touched = touched[:0]
+		if g.frontierEdges(frontier)*pullAlpha > nnz {
+			for _, u := range frontier {
+				frontMask[u] = true
+			}
+			touched = sparse.SpMVPull(g.transpose(), val, frontMask, ops.Add, ops.Mul, acc, hit, touched)
+			for _, u := range frontier {
+				frontMask[u] = false
+			}
+		} else {
+			touched = sparse.SpMSpVPush(g.adj, frontier, frontVals, ops.Add, ops.Mul, acc, hit, touched)
+			// Push discovers outputs in scatter order; the next frontier
+			// must be ascending to keep the following round's fold order.
+			sortIDs(touched)
+		}
+		frontier = frontier[:0]
+		frontVals = frontVals[:0]
+		for _, v := range touched {
+			f := acc[v]
+			hit[v] = false
+			if ops.IsZero(f) {
+				continue // the engine's prune: a Zero fold is no entry
+			}
+			if !has[v] {
+				has[v] = true
+				val[v] = f
+			} else {
+				merged := ops.Add(val[v], f)
+				if ops.Equal(merged, val[v]) {
+					continue
+				}
+				val[v] = merged
+				if ops.IsZero(merged) {
+					// ⊕ produced the algebra's Zero: the sparse reference
+					// prunes the entry (unreachable for the registry pairs,
+					// whose ⊕ selects an operand).
+					has[v] = false
+					continue
+				}
+			}
+			frontier = append(frontier, v)
+			frontVals = append(frontVals, val[v])
+		}
+	}
+	return val, has, nil
+}
+
+// sortIDs orders a touched-id list ascending: insertion sort while the
+// list is small (no interface overhead on the hot relaxation path),
+// sort.Ints once a dense round would make insertion sort quadratic.
+func sortIDs(xs []int) {
+	if len(xs) > 64 {
+		sort.Ints(xs)
+		return
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// extract converts a dense result vector back to the string-keyed map.
+func (g *Graph) extract(val []float64, has []bool) map[string]float64 {
+	out := make(map[string]float64)
+	for i, ok := range has {
+		if ok {
+			out[g.verts.Key(i)] = val[i]
+		}
+	}
+	return out
+}
+
+// SSSP is the CSR-native single-source shortest-path distance map under
+// min.+ — Bellman–Ford with a sparse active set instead of full-vector
+// products.
+func (g *Graph) SSSP(source string) (map[string]float64, error) {
+	src, err := g.vertex(source)
+	if err != nil {
+		return nil, err
+	}
+	val, has, err := g.relaxToFixpoint(src, 0, semiring.MinPlus(), g.verts.Len(),
+		fmt.Sprintf("no fixpoint after %d rounds (negative cycle?)", g.verts.Len()))
+	if err != nil {
+		return nil, err
+	}
+	return g.extract(val, has), nil
+}
+
+// WidestPath is the CSR-native maximum-bottleneck-width map under
+// max.min; the source seeds at +Inf (an empty path constrains nothing).
+func (g *Graph) WidestPath(source string) (map[string]float64, error) {
+	src, err := g.vertex(source)
+	if err != nil {
+		return nil, err
+	}
+	val, has, err := g.relaxToFixpoint(src, value.PosInf, semiring.MaxMin(), g.verts.Len(),
+		fmt.Sprintf("widest-path failed to converge in %d rounds", g.verts.Len()))
+	if err != nil {
+		return nil, err
+	}
+	return g.extract(val, has), nil
+}
+
+// Components is the CSR-native weakly-connected-components labeling:
+// min-label propagation with a sparse changed set over the symmetrized
+// pattern, under the same min.select1st operator pair as the reference.
+func (g *Graph) Components() (map[string]string, error) {
+	n := g.verts.Len()
+	if n == 0 {
+		return map[string]string{}, nil
+	}
+	// Symmetrized pattern S = pattern(A) ∪ pattern(Aᵀ), weight 1: the ⊗
+	// of min.select1st projects the label through, so values are inert.
+	patternOps := semiring.Ops[float64]{
+		Name: "pattern∪",
+		Add:  func(float64, float64) float64 { return 1 },
+		Mul:  func(float64, float64) float64 { return 1 },
+		Zero: 0, One: 1,
+		Equal: func(a, b float64) bool { return a == b },
+	}
+	ones := onesLike(g.adj)
+	sym, err := sparse.EWiseAdd(ones, ones.Transpose(), patternOps)
+	if err != nil {
+		return nil, err
+	}
+
+	ops := minLeft()
+	label := make([]float64, n)
+	frontier := make([]int, n)
+	frontVals := make([]float64, n)
+	for i := range label {
+		label[i] = float64(i)
+		frontier[i] = i
+		frontVals[i] = label[i]
+	}
+	acc := make([]float64, n)
+	hit := make([]bool, n)
+	var touched []int
+	for round := 0; len(frontier) > 0; round++ {
+		if round > n {
+			return nil, fmt.Errorf("algo: component propagation failed to converge")
+		}
+		touched = sparse.SpMSpVPush(sym, frontier, frontVals, ops.Add, ops.Mul, acc, hit, touched[:0])
+		sortIDs(touched)
+		frontier = frontier[:0]
+		frontVals = frontVals[:0]
+		for _, v := range touched {
+			f := acc[v]
+			hit[v] = false
+			if f < label[v] {
+				label[v] = f
+				frontier = append(frontier, v)
+				frontVals = append(frontVals, f)
+			}
+		}
+	}
+	out := make(map[string]string, n)
+	for i := range label {
+		out[g.verts.Key(i)] = g.verts.Key(int(label[i]))
+	}
+	return out, nil
+}
+
+// onesLike copies a matrix's pattern with every stored value 1.
+func onesLike(m *sparse.CSR[float64]) *sparse.CSR[float64] {
+	return m.Map(func(_, _ int, _ float64) float64 { return 1 })
+}
+
+// TriangleCount is the CSR-native triangle count: per stored edge (i,j)
+// of the symmetric pattern, the wedge count |N(i) ∩ N(j)| by sorted
+// intersection — the masked (A·A) ∘ A of the reference without
+// materializing products — summed and divided by 6. Only index
+// structure is read, so the symmetry check reuses the Graph's cached
+// transpose and no value copies are made.
+func (g *Graph) TriangleCount() (int, error) {
+	if !sparse.SamePattern(g.adj, g.transpose()) {
+		return 0, fmt.Errorf("algo: triangle counting requires a symmetric adjacency array")
+	}
+	var wedges int64
+	n := g.verts.Len()
+	for i := 0; i < n; i++ {
+		ri, _ := g.adj.Row(i)
+		for _, j := range ri {
+			rj, _ := g.adj.Row(j)
+			wedges += intersectCount(ri, rj)
+		}
+	}
+	if wedges%6 != 0 {
+		return 0, fmt.Errorf("algo: wedge count %v not divisible by 6 (self-loops present?)", wedges)
+	}
+	return int(wedges / 6), nil
+}
+
+// intersectCount counts common elements of two ascending id slices.
+func intersectCount(a, b []int) int64 {
+	var c int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// PageRank is the CSR-native damped PageRank with uniform teleport and
+// dangling-mass redistribution: one dense pull SpMV over the
+// out-degree-normalized transpose per iteration, numerically identical
+// to the reference (same ascending in-neighbor fold, same vertex-order
+// reductions). Returns the rank map and iterations used.
+func (g *Graph) PageRank(damping, tol float64, maxIter int) (map[string]float64, int, error) {
+	if damping <= 0 || damping >= 1 {
+		return nil, 0, fmt.Errorf("algo: damping must be in (0,1), got %v", damping)
+	}
+	n := g.verts.Len()
+	if n == 0 {
+		return map[string]float64{}, 0, nil
+	}
+	// Pᵀ with value 1/outdeg(u) at (v, u): the transpose's column ids ARE
+	// the source vertices, so normalization is a value rewrite — built
+	// once per Graph, so a burst of PageRank queries against one cached
+	// snapshot epoch pays it once.
+	g.prOnce.Do(func() {
+		g.prNorm = g.transpose().Map(func(_, u int, _ float64) float64 {
+			return 1 / float64(g.adj.RowNNZ(u))
+		})
+	})
+	norm := g.prNorm
+
+	rank := make([]float64, n)
+	flow := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		for v := 0; v < n; v++ {
+			f := 0.0
+			cols, vals := norm.Row(v)
+			for p, u := range cols {
+				f += rank[u] * vals[p]
+			}
+			flow[v] = f
+		}
+		dangling := 0.0
+		for i := 0; i < n; i++ {
+			if g.adj.RowNNZ(i) == 0 {
+				dangling += rank[i]
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		delta := 0.0
+		for i := 0; i < n; i++ {
+			nv := base + damping*flow[i]
+			delta += math.Abs(nv - rank[i])
+			rank[i] = nv
+		}
+		if delta < tol {
+			return g.rankMap(rank), iter, nil
+		}
+	}
+	return g.rankMap(rank), maxIter, nil
+}
+
+func (g *Graph) rankMap(rank []float64) map[string]float64 {
+	out := make(map[string]float64, len(rank))
+	for i, r := range rank {
+		out[g.verts.Key(i)] = r
+	}
+	return out
+}

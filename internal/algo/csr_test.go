@@ -1,0 +1,283 @@
+package algo
+
+import (
+	"fmt"
+	"testing"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/conformance"
+	"adjarray/internal/semiring"
+	"adjarray/internal/value"
+)
+
+// The differential suite: every CSR-native kernel pinned against its
+// assoc-based oracle over the conformance generators' adversarial
+// instances — R-MAT skew, parallel edges, unicode/NUL/0xff keys, NaN
+// and ±Inf weights. Results must be BIT-identical: the kernels share
+// the oracles' fold order (ascending in-neighbor id per output) and
+// pruning rules, so exact equality is the contract, not a tolerance.
+
+const diffInstances = 60
+
+func lookupEntry(t *testing.T, name string) semiring.Entry {
+	t.Helper()
+	entry, ok := semiring.Lookup(name)
+	if !ok {
+		t.Fatalf("%s not registered", name)
+	}
+	return entry
+}
+
+// instanceAdjacency builds the instance's adjacency array under the
+// entry's operator pair — the construction the algorithms consume.
+func instanceAdjacency(t *testing.T, inst conformance.Instance, ops semiring.Ops[float64]) *assoc.Array[float64] {
+	t.Helper()
+	eout, ein := inst.Incidence()
+	adj, err := assoc.Correlate(eout, ein, ops, assoc.MulOptions{})
+	if err != nil {
+		t.Fatalf("%s: correlate: %v", inst.Name, err)
+	}
+	return adj
+}
+
+// testSources picks a deterministic spread of source vertices.
+func testSources(a *assoc.Array[float64]) []string {
+	verts := a.RowKeys().Union(a.ColKeys())
+	n := verts.Len()
+	if n == 0 {
+		return nil
+	}
+	picks := []int{0, n / 2, n - 1}
+	var out []string
+	seen := map[string]bool{}
+	for _, i := range picks {
+		k := verts.Key(i)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func sameFloatMap(a, b map[string]float64) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("size %d vs %d", len(a), len(b))
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			return fmt.Sprintf("key %q missing", k)
+		}
+		if !value.Float64Equal(av, bv) {
+			return fmt.Sprintf("key %q: %v vs %v", k, av, bv)
+		}
+	}
+	return ""
+}
+
+// sameErr requires both paths to agree on failure: either both succeed
+// or both fail (divergence/convergence behavior is part of the oracle).
+func sameErr(t *testing.T, ctx string, oracleErr, csrErr error) bool {
+	t.Helper()
+	if (oracleErr == nil) != (csrErr == nil) {
+		t.Errorf("%s: oracle err=%v, csr err=%v", ctx, oracleErr, csrErr)
+		return false
+	}
+	return oracleErr == nil
+}
+
+func TestCSRBFSMatchesOracle(t *testing.T) {
+	gen := conformance.NewGenerator(101)
+	entry := lookupEntry(t, "+.*")
+	for i := 0; i < diffInstances; i++ {
+		inst := gen.Instance(entry)
+		if len(inst.Edges) == 0 {
+			continue
+		}
+		adj := instanceAdjacency(t, inst, entry.Ops)
+		g, err := FromArray(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range testSources(adj) {
+			want, werr := BFSLevels(adj, src)
+			got, gerr := g.BFSLevels(src)
+			ctx := fmt.Sprintf("%s[%d] bfs from %q", inst.Name, i, src)
+			if !sameErr(t, ctx, werr, gerr) {
+				continue
+			}
+			if len(want) != len(got) {
+				t.Fatalf("%s: %d levels vs %d", ctx, len(got), len(want))
+			}
+			for k, wl := range want {
+				if gl, ok := got[k]; !ok || gl != wl {
+					t.Fatalf("%s: level[%q] = %d, want %d", ctx, k, gl, wl)
+				}
+			}
+		}
+	}
+}
+
+func TestCSRSSSPMatchesOracle(t *testing.T) {
+	gen := conformance.NewGenerator(103)
+	entry := lookupEntry(t, "min.+")
+	for i := 0; i < diffInstances; i++ {
+		inst := gen.Instance(entry)
+		if len(inst.Edges) == 0 {
+			continue
+		}
+		adj := instanceAdjacency(t, inst, entry.Ops)
+		g, err := FromArray(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range testSources(adj) {
+			want, werr := SSSP(adj, src)
+			got, gerr := g.SSSP(src)
+			ctx := fmt.Sprintf("%s[%d] sssp from %q", inst.Name, i, src)
+			if !sameErr(t, ctx, werr, gerr) {
+				continue
+			}
+			if d := sameFloatMap(want, got); d != "" {
+				t.Fatalf("%s: %s", ctx, d)
+			}
+		}
+	}
+}
+
+func TestCSRWidestPathMatchesOracle(t *testing.T) {
+	gen := conformance.NewGenerator(107)
+	entry := lookupEntry(t, "max.min")
+	for i := 0; i < diffInstances; i++ {
+		inst := gen.Instance(entry)
+		if len(inst.Edges) == 0 {
+			continue
+		}
+		adj := instanceAdjacency(t, inst, entry.Ops)
+		g, err := FromArray(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range testSources(adj) {
+			want, werr := WidestPath(adj, src)
+			got, gerr := g.WidestPath(src)
+			ctx := fmt.Sprintf("%s[%d] widest from %q", inst.Name, i, src)
+			if !sameErr(t, ctx, werr, gerr) {
+				continue
+			}
+			if d := sameFloatMap(want, got); d != "" {
+				t.Fatalf("%s: %s", ctx, d)
+			}
+		}
+	}
+}
+
+func TestCSRComponentsMatchesOracle(t *testing.T) {
+	gen := conformance.NewGenerator(109)
+	entry := lookupEntry(t, "+.*")
+	for i := 0; i < diffInstances; i++ {
+		inst := gen.Instance(entry)
+		adj := instanceAdjacency(t, inst, entry.Ops)
+		g, err := FromArray(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, werr := Components(adj)
+		got, gerr := g.Components()
+		ctx := fmt.Sprintf("%s[%d] components", inst.Name, i)
+		if !sameErr(t, ctx, werr, gerr) {
+			continue
+		}
+		if len(want) != len(got) {
+			t.Fatalf("%s: %d labels vs %d", ctx, len(got), len(want))
+		}
+		for k, wl := range want {
+			if gl, ok := got[k]; !ok || gl != wl {
+				t.Fatalf("%s: label[%q] = %q, want %q", ctx, k, gl, wl)
+			}
+		}
+	}
+}
+
+func TestCSRTriangleCountMatchesOracle(t *testing.T) {
+	gen := conformance.NewGenerator(113)
+	entry := lookupEntry(t, "+.*")
+	for i := 0; i < diffInstances; i++ {
+		inst := gen.Instance(entry)
+		if len(inst.Edges) == 0 {
+			continue
+		}
+		adj := instanceAdjacency(t, inst, entry.Ops)
+		// Symmetrize the pattern: triangle counting requires an undirected
+		// adjacency, so both paths consume A ∨ Aᵀ with weight 1.
+		p := assoc.Convert(adj, func(_, _ string, _ float64) float64 { return 1 })
+		sym, err := assoc.Add(p, p.Transpose(), semiring.MaxMin())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := FromArray(sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, werr := TriangleCount(sym)
+		got, gerr := g.TriangleCount()
+		ctx := fmt.Sprintf("%s[%d] triangles", inst.Name, i)
+		if !sameErr(t, ctx, werr, gerr) {
+			continue
+		}
+		if want != got {
+			t.Fatalf("%s: %d triangles, want %d", ctx, got, want)
+		}
+	}
+}
+
+func TestCSRPageRankMatchesOracle(t *testing.T) {
+	gen := conformance.NewGenerator(127)
+	entry := lookupEntry(t, "+.*")
+	for i := 0; i < diffInstances; i++ {
+		inst := gen.Instance(entry)
+		adj := instanceAdjacency(t, inst, entry.Ops)
+		g, err := FromArray(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wIters, werr := PageRank(adj, 0.85, 1e-12, 40)
+		got, gIters, gerr := g.PageRank(0.85, 1e-12, 40)
+		ctx := fmt.Sprintf("%s[%d] pagerank", inst.Name, i)
+		if !sameErr(t, ctx, werr, gerr) {
+			continue
+		}
+		if wIters != gIters {
+			t.Fatalf("%s: %d iterations, want %d", ctx, gIters, wIters)
+		}
+		if d := sameFloatMap(want, got); d != "" {
+			t.Fatalf("%s: %s", ctx, d)
+		}
+	}
+}
+
+// The asymmetric-input and unknown-source error paths behave like the
+// oracles'.
+func TestCSRGraphErrors(t *testing.T) {
+	adj := assoc.FromTriples([]assoc.Triple[float64]{
+		{Row: "a", Col: "b", Val: 1},
+		{Row: "b", Col: "c", Val: 1},
+	}, nil)
+	g, err := FromArray(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.BFSLevels("zz"); err == nil {
+		t.Error("unknown BFS source accepted")
+	}
+	if _, err := g.SSSP("zz"); err == nil {
+		t.Error("unknown SSSP source accepted")
+	}
+	if _, err := g.TriangleCount(); err == nil {
+		t.Error("asymmetric triangle count accepted")
+	}
+	if _, _, err := g.PageRank(1.5, 1e-9, 10); err == nil {
+		t.Error("out-of-range damping accepted")
+	}
+}

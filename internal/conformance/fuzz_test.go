@@ -90,13 +90,13 @@ func FuzzStreamAppend(f *testing.F) {
 		}
 		for i := 0; i < n; i++ {
 			b := data[i*3 : i*3+3]
-			edges = append(edges, stream.Edge[float64]{
-				Key: fmt.Sprintf("e%03d", i),
-				Src: fmt.Sprintf("v%d", int(b[0])%8),
-				Dst: fmt.Sprintf("v%d", int(b[1])%8),
-				Out: weights[int(b[2])%len(weights)],
-				In:  weights[int(b[2]/4)%len(weights)],
-			})
+			edges = append(edges, stream.Weighted(
+				fmt.Sprintf("e%03d", i),
+				fmt.Sprintf("v%d", int(b[0])%8),
+				fmt.Sprintf("v%d", int(b[1])%8),
+				weights[int(b[2])%len(weights)],
+				weights[int(b[2]/4)%len(weights)],
+			))
 		}
 		plain := stream.NewView(ops, stream.Options{})
 		guarded := stream.NewView(ops, stream.Options{CheckAssociative: true})

@@ -77,7 +77,7 @@ func buildStream(_, _ *assoc.Array[float64], ops semiring.Ops[float64], inst Ins
 		}
 		batch := make([]stream.Edge[float64], cut-prev)
 		for i, e := range inst.Edges[prev:cut] {
-			batch[i] = stream.Edge[float64]{Key: e.Key, Src: e.Src, Dst: e.Dst, Out: e.Out, In: e.In}
+			batch[i] = stream.Weighted(e.Key, e.Src, e.Dst, e.Out, e.In)
 		}
 		if err := v.Append(batch); err != nil {
 			return nil, err

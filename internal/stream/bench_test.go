@@ -44,7 +44,7 @@ func s12Workload(b *testing.B, deltas int) (baseOut, baseIn *assoc.Array[float64
 			} else {
 				src, dst = delta[r.Intn(per)].Src, delta[r.Intn(per)].Dst
 			}
-			batch[i] = Edge[float64]{Key: fmt.Sprintf("e%08d", seq), Src: src, Dst: dst, Out: 1, In: 1}
+			batch[i] = Weighted(fmt.Sprintf("e%08d", seq), src, dst, 1.0, 1)
 			seq++
 		}
 		batches[d] = batch

@@ -35,7 +35,7 @@ func TestCompactAfterGuardRejection(t *testing.T) {
 	// no identity here because the batch is the first (nothing to merge
 	// against)… except the guard is value-based, so it must reject 1s
 	// too — (1 ⊕ 0)/2 = 0.5 ≠ 1 breaks the identity hypothesis.
-	if err := v.Append([]Edge[float64]{{Key: "k1", Src: "a", Dst: "b", Out: 1, In: 1}}); err == nil {
+	if err := v.Append([]Edge[float64]{Weighted("k1", "a", "b", 1.0, 1)}); err == nil {
 		t.Fatal("guard accepted avg ⊕ despite its non-identity Zero")
 	}
 	if st := v.Stats(); st.Edges != 0 || st.Epoch != 0 {
@@ -55,8 +55,8 @@ func TestCompactAfterGuardRejection(t *testing.T) {
 	// and the NEXT append still works.
 	u := NewView(avgOps(), Options{})
 	batches := [][]Edge[float64]{
-		{{Key: "k1", Src: "a", Dst: "b", Out: 1, In: 1}},
-		{{Key: "k2", Src: "a", Dst: "b", Out: 3, In: 1}, {Key: "k3", Src: "a", Dst: "b", Out: 5, In: 1}},
+		{Weighted("k1", "a", "b", 1.0, 1)},
+		{Weighted("k2", "a", "b", 3.0, 1), Weighted("k3", "a", "b", 5.0, 1)},
 	}
 	for _, b := range batches {
 		if err := u.Append(b); err != nil {
@@ -87,7 +87,7 @@ func TestCompactAfterGuardRejection(t *testing.T) {
 	if got, _ := snap.Adjacency.At("a", "b"); got != 3.5 {
 		t.Fatalf("compacted fold = %v, want 3.5", got)
 	}
-	if err := u.Append([]Edge[float64]{{Key: "k4", Src: "b", Dst: "a", Out: 2, In: 1}}); err != nil {
+	if err := u.Append([]Edge[float64]{Weighted("k4", "b", "a", 2.0, 1)}); err != nil {
 		t.Fatalf("append after Compact: %v", err)
 	}
 	if st := u.Stats(); st.Edges != 4 {
@@ -104,12 +104,12 @@ func TestSnapshotIsolationUnderConcurrentAppend(t *testing.T) {
 	const edges, batch = 600, 20
 	all := make([]Edge[float64], edges)
 	for i := range all {
-		all[i] = Edge[float64]{
-			Key: fmt.Sprintf("e%06d", i),
-			Src: fmt.Sprintf("v%02d", (i*7)%16),
-			Dst: fmt.Sprintf("v%02d", (i*13)%16),
-			Out: 1, In: float64(1 + i%3),
-		}
+		all[i] = Weighted(
+			fmt.Sprintf("e%06d", i),
+			fmt.Sprintf("v%02d", (i*7)%16),
+			fmt.Sprintf("v%02d", (i*13)%16),
+			1, float64(1+i%3),
+		)
 	}
 	v := NewView(ops, Options{})
 

@@ -47,12 +47,31 @@ import (
 )
 
 // Edge is one ingested edge: key k, source, destination, and the two
-// incidence entry values Eout(k,Src) and Ein(k,Dst). A value equal to
-// the algebra's Zero (including the Go zero value for most pairs)
-// selects the algebra's One — the unweighted convention of Figure 1.
+// incidence entry values Eout(k,Src) and Ein(k,Dst).
+//
+// Weight presence is EXPLICIT: Out is used only when HasOut is set (and
+// In only when HasIn is set); an unset side selects the algebra's One —
+// the unweighted convention of Figure 1. The flags replace an earlier
+// Zero-value sentinel ("a value equal to the algebra's Zero selects
+// One"), which was wrong for any algebra whose One is not Go's zero
+// value — under min.* (One = 1) an omitted weight ingested as the
+// number 0.0, and a genuine Zero-valued weight was unrepresentable
+// (silently rewritten to One) under every pair. With the flags an
+// explicit weight always round-trips, including explicit Zero, whose
+// edge then contributes nothing to the adjacency (0 annihilates ⊗ under
+// the Theorem II.1 conditions) — the algebraic spelling of "no edge".
 type Edge[V any] struct {
 	Key, Src, Dst string
 	Out, In       V
+	// HasOut and HasIn mark Out / In as explicitly provided. The zero
+	// value (unset) means "unweighted": the side ingests as ops.One.
+	HasOut, HasIn bool
+}
+
+// Weighted builds an edge with both incidence values explicitly set —
+// the common literal for weighted ingest call sites.
+func Weighted[V any](key, src, dst string, out, in V) Edge[V] {
+	return Edge[V]{Key: key, Src: src, Dst: dst, Out: out, In: in, HasOut: true, HasIn: true}
 }
 
 // Options tunes a View.
@@ -216,10 +235,10 @@ func (v *View[V]) Append(edges []Edge[V]) error {
 		}
 		prev = key
 		ov, iv := e.Out, e.In
-		if ops.IsZero(ov) {
+		if !e.HasOut {
 			ov = ops.One
 		}
-		if ops.IsZero(iv) {
+		if !e.HasIn {
 			iv = ops.One
 		}
 		s.rowKeys = append(s.rowKeys, key)

@@ -30,13 +30,13 @@ func mustSnap[V any](t *testing.T, v *View[V]) Snapshot[V] {
 func randomEdges(r *rand.Rand, n, vertices int, weights []float64) []Edge[float64] {
 	edges := make([]Edge[float64], n)
 	for i := range edges {
-		edges[i] = Edge[float64]{
-			Key: fmt.Sprintf("e%06d", i),
-			Src: fmt.Sprintf("v%03d", r.Intn(vertices)),
-			Dst: fmt.Sprintf("v%03d", r.Intn(vertices)),
-			Out: weights[r.Intn(len(weights))],
-			In:  weights[r.Intn(len(weights))],
-		}
+		edges[i] = Weighted(
+			fmt.Sprintf("e%06d", i),
+			fmt.Sprintf("v%03d", r.Intn(vertices)),
+			fmt.Sprintf("v%03d", r.Intn(vertices)),
+			weights[r.Intn(len(weights))],
+			weights[r.Intn(len(weights))],
+		)
 	}
 	return edges
 }
@@ -139,9 +139,9 @@ func TestNonAssociativeDivergesAndCompactRecovers(t *testing.T) {
 		Equal: value.Float64Equal,
 	}
 	edges := []Edge[float64]{
-		{Key: "k1", Src: "a", Dst: "b", Out: 1, In: 1},
-		{Key: "k2", Src: "a", Dst: "b", Out: 3, In: 1},
-		{Key: "k3", Src: "a", Dst: "b", Out: 5, In: 1},
+		Weighted("k1", "a", "b", 1.0, 1),
+		Weighted("k2", "a", "b", 3.0, 1),
+		Weighted("k3", "a", "b", 5.0, 1),
 	}
 	want := oneShot(t, edges, avg) // ((1⊕3)⊕5) = 3.5 at (a,b)
 
@@ -421,10 +421,7 @@ func edgesOf(s Snapshot[float64]) []Edge[float64] {
 	for i := 0; i < s.Eout.RowKeys().Len(); i++ {
 		k := s.Eout.RowKeys().Key(i)
 		o, n := outs[k], ins[k]
-		edges = append(edges, Edge[float64]{
-			Key: k, Src: o[0].(string), Dst: n[0].(string),
-			Out: o[1].(float64), In: n[1].(float64),
-		})
+		edges = append(edges, Weighted(k, o[0].(string), n[0].(string), o[1].(float64), n[1].(float64)))
 	}
 	return edges
 }
