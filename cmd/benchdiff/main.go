@@ -1,0 +1,128 @@
+// Command benchdiff compares two graphbench -json baseline files and
+// prints a benchstat-style table: one line per configuration present in
+// both files (matched on generator+semiring+backend+workers), with the
+// old and new wall times and the delta. Rows present on only one side
+// are listed separately, so a renamed arm is visible instead of
+// silently dropped.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//
+// benchdiff never exits non-zero for regressions — it is a reporting
+// tool for CI artifacts (the bench smoke arm runs on shared runners
+// whose timings gate nothing); it exits non-zero only when a file is
+// unreadable.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"adjarray/internal/render"
+)
+
+type row struct {
+	Generator string `json:"generator"`
+	Semiring  string `json:"semiring"`
+	Backend   string `json:"backend"`
+	Workers   int    `json:"workers"`
+	Edges     int    `json:"edges"`
+	NNZ       int    `json:"nnz"`
+	BuildNs   int64  `json:"build_ns"`
+	AllocsOp  int64  `json:"allocs_per_op"`
+	BytesOp   int64  `json:"bytes_per_op"`
+}
+
+type baseline struct {
+	Timestamp  string `json:"timestamp"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Rows       []row  `json:"rows"`
+}
+
+func load(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	return b, json.Unmarshal(data, &b)
+}
+
+func key(r row) string {
+	return fmt.Sprintf("%s|%s|%s|w%d", r.Generator, r.Semiring, r.Backend, r.Workers)
+}
+
+func ms(ns int64) string { return fmt.Sprintf("%.3fms", float64(ns)/1e6) }
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	new_, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("old: %s (%s, GOMAXPROCS=%d)\n", os.Args[1], old.GoVersion, old.GOMAXPROCS)
+	fmt.Printf("new: %s (%s, GOMAXPROCS=%d)\n\n", os.Args[2], new_.GoVersion, new_.GOMAXPROCS)
+
+	oldBy := map[string]row{}
+	for _, r := range old.Rows {
+		oldBy[key(r)] = r
+	}
+	newBy := map[string]row{}
+	for _, r := range new_.Rows {
+		newBy[key(r)] = r
+	}
+
+	var shared []string
+	for k := range newBy {
+		if _, ok := oldBy[k]; ok {
+			shared = append(shared, k)
+		}
+	}
+	sort.Strings(shared)
+	var rows [][]string
+	for _, k := range shared {
+		o, n := oldBy[k], newBy[k]
+		delta := "~"
+		if o.BuildNs > 0 {
+			d := float64(n.BuildNs-o.BuildNs) / float64(o.BuildNs) * 100
+			delta = fmt.Sprintf("%+.1f%%", d)
+		}
+		alloc := ""
+		if o.AllocsOp > 0 || n.AllocsOp > 0 {
+			alloc = fmt.Sprintf("%d→%d", o.AllocsOp, n.AllocsOp)
+		}
+		rows = append(rows, []string{k, ms(o.BuildNs), ms(n.BuildNs), delta, alloc})
+	}
+	fmt.Print(render.Columns([]string{"configuration", "old", "new", "delta", "allocs_op"}, rows))
+
+	report := func(label string, only map[string]row, other map[string]row) {
+		var ks []string
+		for k := range only {
+			if _, ok := other[k]; !ok {
+				ks = append(ks, k)
+			}
+		}
+		sort.Strings(ks)
+		if len(ks) > 0 {
+			fmt.Printf("\n%s:\n", label)
+			for _, k := range ks {
+				fmt.Printf("  %s (%s)\n", k, ms(only[k].BuildNs))
+			}
+		}
+	}
+	report("only in old", oldBy, newBy)
+	report("only in new", newBy, oldBy)
+}

@@ -2,22 +2,36 @@
 // workloads — the scaling experiment (E11). It sweeps generator sizes,
 // backends, and worker counts, and prints one row per configuration:
 //
-//	generator  vertices  edges  semiring  backend  workers  nnz  build_time
+//	generator  vertices  edges  semiring  backend  workers  nnz  build_time  allocs_op  kb_op
 //
 // Usage:
 //
 //	graphbench                       # default R-MAT sweep, all backends
 //	graphbench -gen er -n 2000 -p 0.002
 //	graphbench -gen rmat -scale 12 -ef 8 -backend parallel -workers 8
+//	graphbench -gen rmat -scale 14 -workersweep 1,2,4,8
 //	graphbench -gen stream -scale 12 -deltas 100
 //	graphbench -gen algo             # algorithm kernels, assoc vs CSR
-//	graphbench -json BENCH.json      # also write a machine-readable baseline
+//	graphbench -gen bench4 -json BENCH_4.json   # the committed scaling artifact
+//	graphbench -cpuprofile cpu.out -memprofile mem.out ...
+//
+// Every row records wall time plus allocation cost (allocs and KiB per
+// operation, from runtime.MemStats deltas around the timed section), so
+// a perf regression is diagnosable from the JSON artifact alone; the
+// -cpuprofile/-memprofile flags capture pprof profiles of the whole run
+// when the artifact alone isn't enough.
 //
 // The stream workload measures incremental maintenance: a warm
 // adjacency view absorbs -deltas batches of 1% fresh edges each, and
-// two rows come out — backend "stream_append" (mean wall time per
-// delta-batch Append) and "stream_rebuild" (what the same delta would
-// cost with a full Correlate rebuild at final size).
+// three rows come out — backend "stream_append" (mean wall time per
+// delta-batch Append), "stream_materialize" (one backlog fold of all
+// -deltas batches into the main adjacency, the Snapshot-time cost), and
+// "stream_rebuild" (what the same delta would cost with a full
+// Correlate rebuild at final size).
+//
+// The bench4 workload is the committed BENCH_4.json matrix: scales
+// 12/14/16 × workers 1/2/4/8 over the parallel construction backend and
+// both stream arms.
 //
 // The algo workload times the graph algorithms (BFS, SSSP, PageRank)
 // on rmat-s12 and rmat-s14 adjacency arrays, one row per algorithm per
@@ -34,6 +48,9 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"adjarray/internal/algo"
@@ -57,6 +74,8 @@ type jsonRow struct {
 	Workers   int    `json:"workers"`
 	NNZ       int    `json:"nnz"`
 	BuildNs   int64  `json:"build_ns"`
+	AllocsOp  int64  `json:"allocs_per_op"`
+	BytesOp   int64  `json:"bytes_per_op"`
 }
 
 // jsonBaseline is the schema of the committed BENCH_*.json trajectory
@@ -70,8 +89,61 @@ type jsonBaseline struct {
 	Rows       []jsonRow `json:"rows"`
 }
 
+// measure is one timed section with its allocation cost.
+type measure struct {
+	elapsed time.Duration
+	allocs  int64
+	bytes   int64
+}
+
+// timed measures fn's wall time and allocation deltas. MemStats reads
+// cost microseconds — noise against the millisecond-scale sections
+// measured here.
+func timed(fn func() error) (measure, error) {
+	// Start every timed section from a collected heap: GC pauses land
+	// inside whichever section happens to trip the pacer, which across
+	// a multi-configuration sweep biases whole arms (the first
+	// configuration grows the heap toward steady state and pays for
+	// it). One explicit collection per section makes arms comparable;
+	// allocation costs are still reported per arm.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return measure{
+		elapsed: elapsed,
+		allocs:  int64(m1.Mallocs - m0.Mallocs),
+		bytes:   int64(m1.TotalAlloc - m0.TotalAlloc),
+	}, err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "graphbench:", err)
+	os.Exit(1)
+}
+
+func parseWorkerSweep(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		w, err := strconv.Atoi(f)
+		if err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "graphbench: bad -workersweep entry %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
 func main() {
-	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | stream | algo | sweep")
+	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | stream | algo | bench4 | sweep")
 	deltas := flag.Int("deltas", 100, "stream workload: number of 1%% delta batches")
 	scale := flag.Int("scale", 10, "R-MAT scale (2^scale vertices)")
 	ef := flag.Int("ef", 8, "R-MAT edge factor")
@@ -80,9 +152,13 @@ func main() {
 	sr := flag.String("semiring", "+.*", "operator pair")
 	backend := flag.String("backend", "", "single backend (default: all)")
 	workers := flag.Int("workers", 0, "parallel backend workers (0 = all cores)")
+	workerSweepFlag := flag.String("workersweep", "", "comma-separated worker counts; each configuration runs once per count (e.g. 1,2,4,8)")
+	flopFloor := flag.Int64("flopfloor", 0, "parallel serial-fallback flop threshold (0 = default, -1 = always parallel)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path")
 	reps := flag.Int("reps", 1, "repetitions per configuration (fastest kept)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after GC) to this path at exit")
 	verify := flag.Bool("verify", false,
 		"validate every result against a correctness oracle instead of trusting the fast path: "+
 			"the dense Definition I.3 product when affordable, the serial two-phase reference otherwise; "+
@@ -93,19 +169,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphbench: unknown semiring %q\n", *sr)
 		os.Exit(2)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	sweep := parseWorkerSweep(*workerSweepFlag)
+	if len(sweep) == 0 {
+		sweep = []int{*workers}
+	}
 
 	var rows [][]string
 	var jrows []jsonRow
-	run := func(name string, g *graph.Graph) {
-		backends := []core.Backend{core.BackendCSR, core.BackendParallel, core.BackendTStore}
-		if *backend != "" {
-			backends = []core.Backend{core.Backend(*backend)}
-		}
+	emit := func(name string, vertices, edges int, backend string, w, nnz int, m measure) {
+		rows = append(rows, []string{
+			name, fmt.Sprint(vertices), fmt.Sprint(edges), *sr, backend,
+			fmt.Sprint(w), fmt.Sprint(nnz),
+			m.elapsed.Round(time.Microsecond).String(),
+			fmt.Sprint(m.allocs),
+			fmt.Sprintf("%.0f", float64(m.bytes)/1024),
+		})
+		jrows = append(jrows, jsonRow{
+			Generator: name, Vertices: vertices, Edges: edges, Semiring: *sr,
+			Backend: backend, Workers: w, NNZ: nnz,
+			BuildNs: m.elapsed.Nanoseconds(), AllocsOp: m.allocs, BytesOp: m.bytes,
+		})
+	}
+
+	runOn := func(name string, g *graph.Graph, backends []core.Backend, sweep []int) {
 		one := func(graph.Edge) float64 { return 1 }
 		eout, ein, err := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "graphbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		var oracle *assoc.Array[float64]
 		oracleName := ""
@@ -119,64 +220,64 @@ func main() {
 			}
 			r, err := core.Build(core.Request{Eout: eout, Ein: ein, Semiring: *sr, Backend: core.Backend(oracleName)})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "graphbench: verify oracle:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			oracle = r.Adjacency
 		}
 		for _, b := range backends {
-			var res *core.Result
-			var elapsed time.Duration
-			for rep := 0; rep < *reps || rep == 0; rep++ {
-				start := time.Now()
-				r, err := core.Build(core.Request{
-					Eout: eout, Ein: ein, Semiring: *sr, Backend: b, Workers: *workers,
-				})
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "graphbench:", err)
-					os.Exit(1)
-				}
-				if e := time.Since(start); res == nil || e < elapsed {
-					res, elapsed = r, e
-				}
+			ws := sweep
+			if b != core.BackendParallel && len(sweep) > 1 {
+				// Only the parallel backend varies with the worker count;
+				// one row is enough for the others, labelled with the
+				// plain -workers value (the historical BENCH_1 convention)
+				// rather than a sweep entry it did not use.
+				ws = []int{*workers}
 			}
-			if oracle != nil {
-				if diff := assoc.Diff(oracle, res.Adjacency, value.Float64Equal, value.FormatFloat); diff != "" {
-					fmt.Fprintf(os.Stderr, "graphbench: VERIFY FAILED: backend %s diverges from %s oracle on %s: %s\n",
-						b, oracleName, name, diff)
-					os.Exit(1)
+			for _, w := range ws {
+				var res *core.Result
+				var best measure
+				for rep := 0; rep < *reps || rep == 0; rep++ {
+					var r *core.Result
+					m, err := timed(func() error {
+						var err error
+						r, err = core.Build(core.Request{
+							Eout: eout, Ein: ein, Semiring: *sr, Backend: b,
+							Workers: w, FlopFloor: *flopFloor,
+						})
+						return err
+					})
+					if err != nil {
+						fail(err)
+					}
+					if res == nil || m.elapsed < best.elapsed {
+						res, best = r, m
+					}
 				}
+				if oracle != nil {
+					if diff := assoc.Diff(oracle, res.Adjacency, value.Float64Equal, value.FormatFloat); diff != "" {
+						fmt.Fprintf(os.Stderr, "graphbench: VERIFY FAILED: backend %s diverges from %s oracle on %s: %s\n",
+							b, oracleName, name, diff)
+						os.Exit(1)
+					}
+				}
+				emit(name, g.Vertices().Len(), g.NumEdges(), string(b), w, res.Adjacency.NNZ(), best)
 			}
-			rows = append(rows, []string{
-				name,
-				fmt.Sprint(g.Vertices().Len()),
-				fmt.Sprint(g.NumEdges()),
-				*sr,
-				string(b),
-				fmt.Sprint(*workers),
-				fmt.Sprint(res.Adjacency.NNZ()),
-				elapsed.Round(10 * time.Microsecond).String(),
-			})
-			jrows = append(jrows, jsonRow{
-				Generator: name,
-				Vertices:  g.Vertices().Len(),
-				Edges:     g.NumEdges(),
-				Semiring:  *sr,
-				Backend:   string(b),
-				Workers:   *workers,
-				NNZ:       res.Adjacency.NNZ(),
-				BuildNs:   elapsed.Nanoseconds(),
-			})
 		}
 	}
 
-	// runStream measures the incremental-maintenance arm: a warm view of
-	// g absorbs `deltas` batches of 1% fresh edges (endpoints resampled
-	// from the graph, keys continuing past the log). Row
-	// "stream_append" is the mean per-batch Append wall time; row
-	// "stream_rebuild" is one full Correlate at the final log size —
-	// what a rebuild-per-delta system would pay per batch.
-	runStream := func(name string, g *graph.Graph, deltas int) {
+	// runStream measures the incremental-maintenance arms at one worker
+	// count. A warm view of g absorbs `deltas` batches of 1% fresh edges
+	// (endpoints resampled from the graph, keys continuing past the
+	// log):
+	//
+	//   - "stream_append": mean per-batch Append wall time and
+	//     allocations, with the default pending budget (folds included,
+	//     amortized);
+	//   - "stream_materialize": one backlog fold of all `deltas` batches
+	//     (appended under an unbounded budget, then forced by Snapshot);
+	//   - "stream_rebuild": one full Correlate at the final log size —
+	//     what a rebuild-per-delta system would pay per batch.
+	runStream := func(name string, g *graph.Graph, deltas, w int, emitRebuild bool) {
 		sg := rand.New(rand.NewSource(*seed + 1))
 		es := g.Edges()
 		per := len(es) / 100
@@ -186,18 +287,22 @@ func main() {
 		one := func(graph.Edge) float64 { return 1 }
 		eout, ein, err := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "graphbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		entry, _ := semiring.Lookup(*sr)
-		v, err := stream.FromIncidence(eout, ein, entry.Ops, stream.Options{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "graphbench:", err)
-			os.Exit(1)
+		mulOpt := assoc.MulOptions{Workers: w, FlopFloor: *flopFloor}
+		if w <= 1 {
+			mulOpt.Workers = 0
 		}
+		v, err := stream.FromIncidence(eout, ein, entry.Ops, stream.Options{Mul: mulOpt})
+		if err != nil {
+			fail(err)
+		}
+		// Batches are pre-generated so the timed sections measure the
+		// view, not fmt.Sprintf.
 		seq := len(es)
-		batch := make([]stream.Edge[float64], per)
 		nextBatch := func() []stream.Edge[float64] {
+			batch := make([]stream.Edge[float64], per)
 			for i := range batch {
 				e := es[sg.Intn(len(es))]
 				batch[i] = stream.Weighted(fmt.Sprintf("e%08d", seq), e.Src, e.Dst, 1.0, 1)
@@ -205,34 +310,86 @@ func main() {
 			}
 			return batch
 		}
-		var appendTotal time.Duration
-		for d := 0; d < deltas; d++ {
-			b := nextBatch()
-			start := time.Now()
-			if err := v.Append(b); err != nil {
-				fmt.Fprintln(os.Stderr, "graphbench:", err)
-				os.Exit(1)
+		pregen := func() [][]stream.Edge[float64] {
+			bs := make([][]stream.Edge[float64], deltas)
+			for d := range bs {
+				bs[d] = nextBatch()
 			}
-			appendTotal += time.Since(start)
+			return bs
+		}
+		var meanAppend measure
+		for rep := 0; rep < *reps || rep == 0; rep++ {
+			batches := pregen()
+			appendTotal, err := timed(func() error {
+				for _, b := range batches {
+					if err := v.Append(b); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				fail(err)
+			}
+			m := measure{
+				elapsed: appendTotal.elapsed / time.Duration(deltas),
+				allocs:  appendTotal.allocs / int64(deltas),
+				bytes:   appendTotal.bytes / int64(deltas),
+			}
+			if rep == 0 || m.elapsed < meanAppend.elapsed {
+				meanAppend = m
+			}
 		}
 		snap, err := v.Snapshot()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "graphbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		meanAppend := appendTotal / time.Duration(deltas)
 
-		var rebuild time.Duration
-		var rebuilt *assoc.Array[float64]
+		// Materialize arm: batches queue under an effectively unbounded
+		// budget, then one Snapshot folds the whole backlog. Repetitions
+		// refill the backlog with fresh batches (the log keeps growing —
+		// pessimistic, never flattering).
+		vm, err := stream.FromIncidence(snap.Eout, snap.Ein, entry.Ops, stream.Options{
+			Mul: mulOpt, PendingBudget: 1 << 30,
+		})
+		if err != nil {
+			fail(err)
+		}
+		var matBest measure
 		for rep := 0; rep < *reps || rep == 0; rep++ {
-			start := time.Now()
-			r, err := assoc.Correlate(snap.Eout, snap.Ein, entry.Ops, assoc.MulOptions{})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "graphbench:", err)
-				os.Exit(1)
+			for _, b := range pregen() {
+				if err := vm.Append(b); err != nil {
+					fail(err)
+				}
 			}
-			if e := time.Since(start); rep == 0 || e < rebuild {
-				rebuild = e
+			m, err := timed(func() error {
+				_, err := vm.Snapshot()
+				return err
+			})
+			if err != nil {
+				fail(err)
+			}
+			if rep == 0 || m.elapsed < matBest.elapsed {
+				matBest = m
+			}
+		}
+
+		// The rebuild reference is always the serial Correlate — it does
+		// not vary with the worker count, so sweeps emit it once.
+		var rebuildBest measure
+		var rebuilt *assoc.Array[float64]
+		for rep := 0; (emitRebuild || *verify) && (rep < *reps || rep == 0); rep++ {
+			var r *assoc.Array[float64]
+			m, err := timed(func() error {
+				var err error
+				r, err = assoc.Correlate(snap.Eout, snap.Ein, entry.Ops, assoc.MulOptions{})
+				return err
+			})
+			if err != nil {
+				fail(err)
+			}
+			if rep == 0 || m.elapsed < rebuildBest.elapsed {
+				rebuildBest = m
 			}
 			rebuilt = r
 		}
@@ -243,20 +400,17 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		for _, row := range []struct {
-			backend string
-			elapsed time.Duration
-		}{{"stream_append", meanAppend}, {"stream_rebuild", rebuild}} {
-			rows = append(rows, []string{
-				name, fmt.Sprint(g.Vertices().Len()), fmt.Sprint(snap.Edges), *sr,
-				row.backend, "1", fmt.Sprint(snap.Adjacency.NNZ()),
-				row.elapsed.Round(time.Microsecond).String(),
-			})
-			jrows = append(jrows, jsonRow{
-				Generator: name, Vertices: g.Vertices().Len(), Edges: snap.Edges,
-				Semiring: *sr, Backend: row.backend, Workers: 1,
-				NNZ: snap.Adjacency.NNZ(), BuildNs: row.elapsed.Nanoseconds(),
-			})
+		V := g.Vertices().Len()
+		// Serial stream rows are labelled workers=1 (the BENCH_2/3
+		// convention), so benchdiff matches them across baselines.
+		label := w
+		if label < 1 {
+			label = 1
+		}
+		emit(name, V, snap.Edges, "stream_append", label, snap.Adjacency.NNZ(), meanAppend)
+		emit(name, V, snap.Edges, "stream_materialize", label, snap.Adjacency.NNZ(), matBest)
+		if emitRebuild {
+			emit(name, V, snap.Edges, "stream_rebuild", 1, snap.Adjacency.NNZ(), rebuildBest)
 		}
 	}
 
@@ -267,19 +421,16 @@ func main() {
 		one := func(graph.Edge) float64 { return 1 }
 		eout, ein, err := graph.Incidence(g, semiring.PlusTimes(), graph.Weights[float64]{Out: one, In: one})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "graphbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		res, err := core.Build(core.Request{Eout: eout, Ein: ein, Semiring: *sr, Backend: core.BackendCSR})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "graphbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		adj := res.Adjacency
 		cg, err := algo.FromArray(adj)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "graphbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		// Deterministic high-degree source.
 		src := adj.RowKeys().Key(0)
@@ -309,16 +460,20 @@ func main() {
 		}
 		results := make([]any, len(arms))
 		for i, arm := range arms {
-			var elapsed time.Duration
+			var bestM measure
 			for rep := 0; rep < *reps || rep == 0; rep++ {
-				start := time.Now()
-				out, err := arm.run()
+				var out any
+				m, err := timed(func() error {
+					var err error
+					out, err = arm.run()
+					return err
+				})
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "graphbench: %s: %v\n", arm.backend, err)
 					os.Exit(1)
 				}
-				if e := time.Since(start); rep == 0 || e < elapsed {
-					elapsed = e
+				if rep == 0 || m.elapsed < bestM.elapsed {
+					bestM = m
 				}
 				results[i] = out
 			}
@@ -328,17 +483,16 @@ func main() {
 					arm.backend, arms[i-1].backend, name)
 				os.Exit(1)
 			}
-			rows = append(rows, []string{
-				name, fmt.Sprint(g.Vertices().Len()), fmt.Sprint(g.NumEdges()), *sr,
-				arm.backend, "1", fmt.Sprint(adj.NNZ()),
-				elapsed.Round(time.Microsecond).String(),
-			})
-			jrows = append(jrows, jsonRow{
-				Generator: name, Vertices: g.Vertices().Len(), Edges: g.NumEdges(),
-				Semiring: *sr, Backend: arm.backend, Workers: 1,
-				NNZ: adj.NNZ(), BuildNs: elapsed.Nanoseconds(),
-			})
+			emit(name, g.Vertices().Len(), g.NumEdges(), arm.backend, 1, adj.NNZ(), bestM)
 		}
+	}
+
+	run := func(name string, g *graph.Graph) {
+		backends := []core.Backend{core.BackendCSR, core.BackendParallel, core.BackendTStore}
+		if *backend != "" {
+			backends = []core.Backend{core.Backend(*backend)}
+		}
+		runOn(name, g, backends, sweep)
 	}
 
 	r := rand.New(rand.NewSource(*seed))
@@ -350,10 +504,28 @@ func main() {
 	case "bipartite":
 		run("bipartite", dataset.Bipartite(r, *n, *n, *n**ef))
 	case "stream":
-		runStream(fmt.Sprintf("rmat-s%d", *scale), dataset.RMAT(r, *scale, *ef), *deltas)
+		for i, w := range sweep {
+			runStream(fmt.Sprintf("rmat-s%d", *scale), dataset.RMAT(rand.New(rand.NewSource(*seed)), *scale, *ef), *deltas, w, i == 0)
+		}
 	case "algo":
 		for _, s := range []int{12, 14} {
 			runAlgo(fmt.Sprintf("rmat-s%d", s), dataset.RMAT(rand.New(rand.NewSource(*seed)), s, *ef))
+		}
+	case "bench4":
+		// The committed BENCH_4.json matrix: construction + both stream
+		// arms across scales and worker counts. The flag sweep (or its
+		// 1/2/4/8 default) applies to every arm.
+		ws := sweep
+		if *workerSweepFlag == "" {
+			ws = []int{1, 2, 4, 8}
+		}
+		for _, s := range []int{12, 14, 16} {
+			name := fmt.Sprintf("rmat-s%d", s)
+			g := dataset.RMAT(rand.New(rand.NewSource(*seed)), s, *ef)
+			runOn(name, g, []core.Backend{core.BackendParallel}, ws)
+			for i, w := range ws {
+				runStream(name, g, *deltas, w, i == 0)
+			}
 		}
 	case "sweep":
 		for _, s := range []int{8, 10, 12} {
@@ -361,14 +533,16 @@ func main() {
 		}
 		run("er", dataset.ErdosRenyi(r, *n, *p))
 		run("bipartite", dataset.Bipartite(r, *n, *n, 8**n))
-		runStream("rmat-s12", dataset.RMAT(rand.New(rand.NewSource(*seed)), 12, *ef), *deltas)
+		for i, w := range sweep {
+			runStream("rmat-s12", dataset.RMAT(rand.New(rand.NewSource(*seed)), 12, *ef), *deltas, w, i == 0)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "graphbench: unknown generator %q\n", *gen)
 		os.Exit(2)
 	}
 
 	fmt.Print(render.Columns(
-		[]string{"generator", "vertices", "edges", "semiring", "backend", "workers", "nnz", "build_time"},
+		[]string{"generator", "vertices", "edges", "semiring", "backend", "workers", "nnz", "build_time", "allocs_op", "kb_op"},
 		rows,
 	))
 
@@ -382,14 +556,23 @@ func main() {
 		}
 		data, err := json.MarshalIndent(baseline, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "graphbench: marshal:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "graphbench: write:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "graphbench: wrote %s (%d rows)\n", *jsonPath, len(jrows))
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
 	}
 }

@@ -67,14 +67,41 @@
 // Array multiplication runs on a two-phase symbolic/numeric SpGEMM
 // engine: a stamp-only symbolic pass computes exact per-row output
 // sizes, the output arrays are allocated once, and the numeric pass
-// writes rows in place (in parallel when MulOptions.Workers > 1, with
-// no stitch step). MulOptions.Kernel selects an engine for ablation:
-// "twophase" (default), "gustavson" (append-grown single pass),
-// "hash", or "merge" (the oracle). Built-in scalar operator pairs
-// (e.g. "+.*") dispatch to monomorphized kernels with the arithmetic
-// inlined. Every kernel folds the contributions to an output entry in
-// ascending key order over the shared dimension, so all engines are
-// bit-identical even for non-commutative or non-associative ⊕.
+// writes rows in place (no stitch step). With MulOptions.Workers > 1
+// both phases run across FLOP-BALANCED row spans: the per-row flop
+// counts from the symbolic model are prefix-summed and cut into
+// equal-work spans by binary search, so the hub rows of a skewed
+// (R-MAT-like) workload spread across workers instead of serializing
+// one of them. A product whose total flop count is below
+// MulOptions.FlopFloor (default sparse.DefaultParallelFlopFloor) falls
+// back to the serial kernel — goroutine overhead never makes the
+// parallel backend slower than serial on small inputs. Kernel scratch
+// (symbolic stamps, numeric accumulators) is recycled through
+// sync.Pool, so steady-state repeated multiplications allocate only
+// their exact output. MulOptions.Kernel selects an engine for
+// ablation: "twophase" (default), "gustavson" (append-grown single
+// pass), "hash", or "merge" (the oracle). Built-in scalar operator
+// pairs (e.g. "+.*") dispatch to monomorphized kernels with the
+// arithmetic inlined. Every kernel folds the contributions to an
+// output entry in ascending key order over the shared dimension, so
+// all engines are bit-identical even for non-commutative or
+// non-associative ⊕.
+//
+// # Key interning
+//
+// The string-key boundary is served by slab-backed interners
+// (internal/keys.Interner): every distinct key is stored once as raw
+// bytes in an append-only slab and mapped to a stable dense int32 id
+// through an open-addressed hash over the key bytes — no per-key
+// string-header allocations and no map[string]int on hot paths. Ids
+// are stable forever; SORTED order is a lazily derived view, so the
+// maintained adjacency view caches one flat id→position array per
+// vertex universe and resolves an ingested edge's endpoints with two
+// array reads. Universe key Sets are bound to their interner
+// (keys.Set.Bind), so Set.Index delegates to the shared hash table
+// instead of building a second map per Set — for huge universes that
+// second map used to double the key-set memory. The facade API stays
+// string-keyed; interning is purely an internal representation.
 //
 // # Quick start
 //

@@ -139,6 +139,16 @@ func AddInto[V any](a, b *Array[V], ops semiring.Ops[V], inPlace bool) (*Array[V
 // overlay, internal/shard's partial fold) therefore ping-pongs between
 // two buffers and stops allocating in steady state.
 func AddIntoScratch[V any](a, b *Array[V], ops semiring.Ops[V], inPlace bool, scratch *sparse.MergeScratch[V]) (*Array[V], error) {
+	return AddIntoScratchWorkers(a, b, ops, inPlace, scratch, 1)
+}
+
+// AddIntoScratchWorkers is AddIntoScratch with the per-row union merge
+// parallelized across merge-cost-balanced row spans when workers > 1
+// (or < 0 for GOMAXPROCS) — bit-identical to the serial merge, see
+// sparse.EWiseAddIntoParallel. This is the accumulator-side counterpart
+// of MulOptions.Workers: a maintained adjacency large enough for merges
+// to dominate folds its deltas span-parallel.
+func AddIntoScratchWorkers[V any](a, b *Array[V], ops semiring.Ops[V], inPlace bool, scratch *sparse.MergeScratch[V], workers int) (*Array[V], error) {
 	if b.NNZ() == 0 && b.rows.Len() == 0 && b.cols.Len() == 0 {
 		return a, nil
 	}
@@ -155,7 +165,12 @@ func AddIntoScratch[V any](a, b *Array[V], ops semiring.Ops[V], inPlace bool, sc
 	// In-place is only meaningful when the embed shared a's value
 	// buffer unchanged — true whenever a's key sets already span the
 	// union (Embed never copies values, so am.val IS a.mat's buffer).
-	m, err := sparse.EWiseAddInto(am, bm, ops, inPlace, scratch)
+	var m *sparse.CSR[V]
+	if workers > 1 || workers < 0 {
+		m, err = sparse.EWiseAddIntoParallel(am, bm, ops, inPlace, scratch, workers)
+	} else {
+		m, err = sparse.EWiseAddInto(am, bm, ops, inPlace, scratch)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,13 @@ type MulOptions struct {
 	Workers int
 	// Grain is the parallel row-block size; <= 0 picks automatically.
 	Grain int
+	// FlopFloor is the symbolic flop count below which a parallel
+	// multiplication falls back to the serial two-phase kernel (the
+	// result is identical; goroutine overhead is not). 0 selects
+	// sparse.DefaultParallelFlopFloor; negative disables the fallback —
+	// the ablation/conformance setting that forces the parallel code
+	// path even on tiny products.
+	FlopFloor int64
 	// Kernel optionally forces a specific SpGEMM variant for ablation:
 	// "twophase" (the default symbolic/numeric engine), "gustavson",
 	// "hash", "merge".
@@ -70,7 +77,7 @@ func Mul[V any](a, b *Array[V], ops semiring.Ops[V], opt MulOptions) (*Array[V],
 			return nil, fmt.Errorf("assoc: kernel %q requires serial execution; the parallel path (Workers=%d) always runs the two-phase engine — set Workers to 0 or 1 for kernel ablation",
 				opt.Kernel, opt.Workers)
 		}
-		cm, err = sparse.MulParallel(am, bm, ops, opt.Workers, opt.Grain)
+		cm, err = sparse.MulParallelOpt(am, bm, ops, opt.Workers, opt.Grain, opt.FlopFloor)
 	case opt.Kernel == "hash":
 		cm, err = sparse.MulHash(am, bm, ops)
 	case opt.Kernel == "merge":

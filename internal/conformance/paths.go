@@ -27,7 +27,7 @@ type Path struct {
 	Build func(eout, ein *assoc.Array[float64], ops semiring.Ops[float64], inst Instance) (*assoc.Array[float64], error)
 }
 
-// builtinPaths covers the five construction paths the repository ships.
+// builtinPaths covers the six construction paths the repository ships.
 func builtinPaths() []Path {
 	return []Path{
 		{
@@ -45,7 +45,11 @@ func builtinPaths() []Path {
 		{
 			Name: "parallel",
 			Build: func(eout, ein *assoc.Array[float64], ops semiring.Ops[float64], _ Instance) (*assoc.Array[float64], error) {
-				return assoc.Correlate(eout, ein, ops, assoc.MulOptions{Workers: 2})
+				// FlopFloor -1: conformance instances are tiny, and the
+				// default serial-fallback floor would silently route every
+				// one of them through the serial kernel — the parallel code
+				// path must stay under differential test.
+				return assoc.Correlate(eout, ein, ops, assoc.MulOptions{Workers: 2, FlopFloor: -1})
 			},
 		},
 		{
@@ -60,6 +64,19 @@ func builtinPaths() []Path {
 			ReAssociates: true,
 			Build:        buildStream,
 		},
+		{
+			// The interned ingest path under maximum pressure: a fold per
+			// batch (PendingBudget 1) exercises the materialize machinery
+			// at every split boundary, and Workers 2 with the flop floor
+			// disabled routes every partial product, backlog fold, and
+			// ⊕-merge through the span-parallel kernels and the pooled
+			// scratch. Gates the interner's byte-hash (unicode, NUL, 0xff,
+			// prefix-colliding keys from the adversarial generators) and
+			// the parallel fold against the dense Definition I.3 oracle.
+			Name:         "stream-interned-parallel",
+			ReAssociates: true,
+			Build:        buildStreamInternedParallel,
+		},
 	}
 }
 
@@ -68,7 +85,18 @@ func builtinPaths() []Path {
 // batch boundary becomes a fold re-association point — the most
 // adversarial grouping the incremental path can produce.
 func buildStream(_, _ *assoc.Array[float64], ops semiring.Ops[float64], inst Instance) (*assoc.Array[float64], error) {
-	v := stream.NewView(ops, stream.Options{})
+	return replayStream(ops, inst, stream.Options{})
+}
+
+func buildStreamInternedParallel(_, _ *assoc.Array[float64], ops semiring.Ops[float64], inst Instance) (*assoc.Array[float64], error) {
+	return replayStream(ops, inst, stream.Options{
+		Mul:           assoc.MulOptions{Workers: 2, FlopFloor: -1},
+		PendingBudget: 1,
+	})
+}
+
+func replayStream(ops semiring.Ops[float64], inst Instance, opt stream.Options) (*assoc.Array[float64], error) {
+	v := stream.NewView(ops, opt)
 	prev := 0
 	cuts := append(append([]int{}, inst.Splits...), len(inst.Edges))
 	for _, cut := range cuts {

@@ -44,6 +44,12 @@ type Request struct {
 	Backend Backend
 	// Workers tunes BackendParallel (<1 = GOMAXPROCS).
 	Workers int
+	// FlopFloor tunes BackendParallel's serial-fallback threshold: a
+	// product whose symbolic flop count is below the floor runs the
+	// serial two-phase kernel (identical result, no goroutine
+	// overhead). 0 selects sparse.DefaultParallelFlopFloor; negative
+	// disables the fallback (the ablation setting).
+	FlopFloor int64
 	// SkipConditionCheck constructs even when the algebra violates the
 	// Theorem II.1 conditions (useful for demonstrations; the Result
 	// then carries the violation).
@@ -107,7 +113,7 @@ func Build(req Request) (*Result, error) {
 	case BackendCSR, "":
 		a, err = graph.Adjacency(req.Eout, req.Ein, ops, assoc.MulOptions{Kernel: "twophase"})
 	case BackendParallel:
-		a, err = graph.Adjacency(req.Eout, req.Ein, ops, assoc.MulOptions{Workers: workersOrAll(req.Workers)})
+		a, err = graph.Adjacency(req.Eout, req.Ein, ops, assoc.MulOptions{Workers: workersOrAll(req.Workers), FlopFloor: req.FlopFloor})
 	case BackendTStore:
 		codec := tstore.Codec[float64]{Parse: value.ParseFloat, Format: value.FormatFloat}
 		sOut := tstore.FromArray(req.Eout, value.FormatFloat, tstore.Options{})

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Set is a finite totally-ordered set of string keys.
@@ -23,10 +24,17 @@ import (
 // and building a map per intermediate Set dominated allocation on the
 // construction path. Membership tests use binary search on the sorted
 // key slice, which needs no index at all.
+//
+// A Set that originates from an Interner can instead be Bound to an
+// InternIndex: Index then resolves through the interner's shared hash
+// table and a flat id→position array, and the map[string]int — a second
+// full copy of the key bytes' hash structure, which for huge universes
+// doubled the key-set memory — is never built.
 type Set struct {
-	keys    []string
-	idxOnce sync.Once
-	index   map[string]int
+	keys     []string
+	idxOnce  sync.Once
+	index    map[string]int
+	interned atomic.Pointer[InternIndex]
 }
 
 // New builds a Set from arbitrary keys, sorting and deduplicating.
@@ -84,9 +92,31 @@ func (s *Set) Keys() []string {
 	return out
 }
 
-// Index returns the position of k and whether it is present. The first
-// call on a Set builds its reverse index; repeated lookups are O(1).
+// Bind attaches an interner-backed reverse index, replacing the lazy
+// map[string]int for this Set. The binding must describe exactly this
+// Set's keys (ix.Index(s.Key(i)) == i for all i, and misses for every
+// other key); internal/stream maintains such bindings incrementally as
+// its vertex universes grow. Binding is an atomic publish, so it is
+// safe even when another goroutine is concurrently calling Index — but
+// callers should bind before sharing the Set where possible.
+func (s *Set) Bind(ix *InternIndex) {
+	if ix != nil {
+		s.interned.Store(ix)
+	}
+}
+
+// Interned reports whether this Set resolves Index through an
+// interner-backed binding (no per-Set map).
+func (s *Set) Interned() bool { return s.interned.Load() != nil }
+
+// Index returns the position of k and whether it is present. A Set
+// bound to an interner resolves through the interner's hash table; the
+// first call on an unbound Set builds its map reverse index. Repeated
+// lookups are O(1) either way.
 func (s *Set) Index(k string) (int, bool) {
+	if ix := s.interned.Load(); ix != nil {
+		return ix.Index(k)
+	}
 	s.ensureIndex()
 	i, ok := s.index[k]
 	return i, ok

@@ -51,7 +51,10 @@ func (e Engine[V]) Merge(acc, partial *assoc.Array[V], inPlace bool) (*assoc.Arr
 }
 
 // MergeScratch is Merge with recycled output backing for accumulator
-// loops (see assoc.AddIntoScratch).
+// loops (see assoc.AddIntoScratch). When the engine's Mul options
+// request parallelism, the ⊕-merge itself also runs span-parallel
+// (assoc.AddIntoScratchWorkers) — the partial products and the
+// accumulator folds scale together.
 func (e Engine[V]) MergeScratch(acc, partial *assoc.Array[V], inPlace bool, scratch *sparse.MergeScratch[V]) (*assoc.Array[V], error) {
 	if partial == nil {
 		return acc, nil
@@ -59,7 +62,7 @@ func (e Engine[V]) MergeScratch(acc, partial *assoc.Array[V], inPlace bool, scra
 	if acc == nil {
 		return partial, nil
 	}
-	return assoc.AddIntoScratch(acc, partial, e.Ops, inPlace, scratch)
+	return assoc.AddIntoScratchWorkers(acc, partial, e.Ops, inPlace, scratch, e.Mul.Workers)
 }
 
 // CheckAssociative samples ⊕ over triples of values stored in the given

@@ -133,3 +133,29 @@ func BenchmarkAdaptiveVsSort(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkParallelFlopFloor is the serial-fallback ablation: the same
+// small product run with the fallback disabled (always-parallel, the
+// pre-threshold behaviour) against the default floor, across sizes that
+// straddle DefaultParallelFlopFloor. On any machine the sub-floor sizes
+// should show floor≈serial and always-parallel paying goroutine
+// overhead; that gap is what the threshold eliminates.
+func BenchmarkParallelFlopFloor(b *testing.B) {
+	ops := semiring.PlusTimes()
+	for _, n := range []int{128, 512, 2048} {
+		a, c := incidenceWorkload(n, 8)
+		for _, cfg := range []struct {
+			name  string
+			floor int64
+		}{{"always-parallel", -1}, {"default-floor", 0}, {"serial", 1 << 62}} {
+			b.Run(fmt.Sprintf("n%d/%s", n, cfg.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := MulParallelOpt(a, c, ops, 4, 0, cfg.floor); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

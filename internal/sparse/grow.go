@@ -309,12 +309,12 @@ func EWiseAddInto[V any](dst, src *CSR[V], ops semiring.Ops[V], inPlace bool, sc
 	} else {
 		rowPtr = make([]int, dst.rows+1)
 	}
-	if cap(colIdx) < unionNNZ {
-		colIdx = make([]int, 0, unionNNZ)
-	}
-	if cap(val) < unionNNZ {
-		val = make([]V, 0, unionNNZ)
-	}
+	// growTo over-provisions recycled buffers by half (see pewise.go):
+	// an accumulator's union size creeps up a little on almost every
+	// merge, and exact-size reallocation turned every one of those
+	// merges into a fresh allocation plus full copy.
+	colIdx = growTo(colIdx, unionNNZ, scratch != nil)[:0]
+	val = growTo(val, unionNNZ, scratch != nil)[:0]
 	for i := 0; i < dst.rows; i++ {
 		dlo, dhi := dst.rowPtr[i], dst.rowPtr[i+1]
 		slo, shi := src.rowPtr[i], src.rowPtr[i+1]

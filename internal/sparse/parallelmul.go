@@ -5,22 +5,49 @@ import (
 	"adjarray/internal/semiring"
 )
 
-// MulParallel is the row-blocked parallel two-phase SpGEMM engine:
-// both the symbolic and numeric phases are partitioned into grain-sized
-// row tasks executed by a worker pool. After the parallel symbolic
-// phase, the per-row counts are prefix-summed into rowPtr and the
-// output arrays are allocated exactly once; numeric workers then write
-// their rows directly into the disjoint [rowPtr[i], rowPtr[i+1))
-// ranges — there is no stitch/copy step. Scratch accumulators are
-// pooled per worker (not per grain-task) via ForGrainWorker. Because
-// output rows are independent and each row's fold order is unchanged,
-// the result is bit-identical to MulTwoPhase/MulGustavson for any ⊕,
-// including non-commutative ones.
+// MulParallel is the flop-balanced parallel two-phase SpGEMM engine.
 //
-// workers < 1 selects GOMAXPROCS. grain < 1 selects an automatic grain
-// of rows/(8·workers), clamped to at least 1 — small enough to balance
-// skewed row costs, large enough to amortize task dispatch.
+// Scheduling: the work of output row i is its flop count
+// Σ_{k∈A(i,:)} nnz(B(k,:)) — computable in one O(nnz(A)) sweep before
+// any multiplication happens. Under R-MAT-style skew a handful of hub
+// rows carry most of the flops, so splitting ROWS evenly (the previous
+// scheme) leaves all but one worker idle; instead the per-row flop
+// prefix sum is cut into equal-WORK spans by binary search
+// (parallel.BalancedSpans) and each span runs on its own goroutine.
+// The same spans drive both phases: the numeric pass costs the same
+// flops the symbolic pass counted.
+//
+// After the parallel symbolic phase the per-row counts are prefix-summed
+// into rowPtr and the output arrays are allocated exactly once; numeric
+// workers then write their rows directly into the disjoint
+// [rowPtr[i], rowPtr[i+1]) ranges — no stitch/copy step. Scratch
+// accumulators come from sync.Pool (one stamp box + one value box per
+// span), so steady-state repeated multiplications allocate only their
+// exact output. Because output rows are independent and each row's fold
+// order is unchanged, the result is bit-identical to
+// MulTwoPhase/MulGustavson for any ⊕, including non-commutative ones.
+//
+// workers < 1 selects GOMAXPROCS. grain < 1 lets the scheduler pick
+// (one span per worker); an explicit grain caps spans at ⌈rows/grain⌉,
+// which only matters for tests that want many small spans.
 func MulParallel[V any](a, b *CSR[V], ops semiring.Ops[V], workers, grain int) (*CSR[V], error) {
+	return MulParallelOpt(a, b, ops, workers, grain, -1)
+}
+
+// DefaultParallelFlopFloor is the symbolic flop count below which
+// MulParallelOpt runs the serial kernel instead: goroutine spawn and
+// span scheduling cost a few microseconds, so a product whose whole
+// flop budget is comparable finishes faster on one core. The BENCH
+// ablation arm (BenchmarkParallelFlopFloor) calibrates this; it errs
+// low so medium products still parallelize.
+const DefaultParallelFlopFloor = 1 << 17
+
+// MulParallelOpt is MulParallel with an explicit serial-fallback
+// threshold: when the symbolic flop total is below flopFloor the serial
+// two-phase kernel runs instead (identical result, no goroutines).
+// flopFloor 0 selects DefaultParallelFlopFloor; negative disables the
+// fallback (always parallel when workers allow).
+func MulParallelOpt[V any](a, b *CSR[V], ops semiring.Ops[V], workers, grain int, flopFloor int64) (*CSR[V], error) {
 	if err := checkDims(a, b); err != nil {
 		return nil, err
 	}
@@ -28,27 +55,53 @@ func MulParallel[V any](a, b *CSR[V], ops semiring.Ops[V], workers, grain int) (
 	if w <= 1 || a.rows == 0 {
 		return MulTwoPhase(a, b, ops)
 	}
-	if grain < 1 {
-		grain = a.rows / (8 * w)
-		if grain < 1 {
-			grain = 1
-		}
+	if flopFloor == 0 {
+		flopFloor = DefaultParallelFlopFloor
 	}
 
-	// Symbolic phase: exact per-row output counts, one stamp SPA per
-	// worker, rows written into disjoint rowPtr slots.
-	rowPtr := make([]int, a.rows+1)
-	syms := make([]*symbolicSPA, w)
-	parallel.ForGrainWorker(a.rows, w, grain, func(worker, lo, hi int) {
-		sym := syms[worker]
-		if sym == nil {
-			sym = newSymbolicSPA(b.cols)
-			syms[worker] = sym
+	// Per-row flop prefix: the load model for both phases, and the
+	// serial-fallback signal. O(nnz(A)) — negligible next to the
+	// multiplication it schedules.
+	pb := getInt64(a.rows + 1)
+	prefix := pb.xs
+	prefix[0] = 0
+	for i := 0; i < a.rows; i++ {
+		f := int64(0)
+		for _, k := range a.colIdx[a.rowPtr[i]:a.rowPtr[i+1]] {
+			f += int64(b.rowPtr[k+1] - b.rowPtr[k])
 		}
+		prefix[i+1] = prefix[i] + f
+	}
+	if flopFloor > 0 && prefix[a.rows] < flopFloor {
+		putInt64(pb)
+		return MulTwoPhase(a, b, ops)
+	}
+
+	spans := w
+	if grain >= 1 {
+		if s := (a.rows + grain - 1) / grain; s > spans {
+			spans = s
+		}
+		if lim := 16 * w; spans > lim {
+			spans = lim
+		}
+	}
+	bounds := parallel.BalancedSpans(prefix, spans)
+
+	// Symbolic phase: exact per-row output counts, one pooled stamp box
+	// per span, rows written into disjoint rowPtr slots.
+	rowPtr := make([]int, a.rows+1)
+	symBoxes := make([]*stampBox, spans)
+	parallel.ForSpans(bounds, func(s, lo, hi int) {
+		sb := getStampBox(b.cols)
+		sym := pooledSym(sb)
 		for i := lo; i < hi; i++ {
 			rowPtr[i+1] = symbolicRow(a, b, i, sym)
 		}
+		sb.current = sym.current
+		symBoxes[s] = sb
 	})
+	putInt64(pb)
 	for i := 0; i < a.rows; i++ {
 		rowPtr[i+1] += rowPtr[i]
 	}
@@ -60,48 +113,51 @@ func MulParallel[V any](a, b *CSR[V], ops semiring.Ops[V], workers, grain int) (
 	rowLen := make([]int, a.rows)
 
 	// Numeric phase: workers fold values and write in place into their
-	// rows' preallocated ranges, reusing the symbolic stamp arrays as
-	// the SPA occupancy stamps.
+	// rows' preallocated ranges, continuing the span's stamp box (the
+	// symbolic pass advanced its counter, so stale stamps stay stale).
 	rowFn := numericRowFor(ops)
-	spas := make([]*spa[V], w)
-	parallel.ForGrainWorker(a.rows, w, grain, func(worker, lo, hi int) {
-		s := spas[worker]
-		if s == nil {
-			s = &spa[V]{acc: make([]V, b.cols)}
-			if sym := syms[worker]; sym != nil {
-				s.stamp, s.current = sym.stamp, sym.current
-			} else {
-				s.stamp = make([]int, b.cols)
-			}
-			spas[worker] = s
-		}
+	pool := accPoolFor[V]()
+	parallel.ForSpans(bounds, func(s, lo, hi int) {
+		sb := symBoxes[s]
+		symBoxes[s] = nil
+		vb := getAccBox[V](pool, b.cols)
+		acc := pooledSPA(sb, vb)
 		for i := lo; i < hi; i++ {
-			rowLen[i] = rowFn(a, b, ops, i, s, colIdx[rowPtr[i]:rowPtr[i+1]], val[rowPtr[i]:rowPtr[i+1]])
+			rowLen[i] = rowFn(a, b, ops, i, acc, colIdx[rowPtr[i]:rowPtr[i+1]], val[rowPtr[i]:rowPtr[i+1]])
 		}
+		releaseKernelScratch(pool, sb, acc, vb)
 	})
 	return finalizeTwoPhase(a.rows, b.cols, rowPtr, rowLen, colIdx, val), nil
 }
 
 // TransposeParallel is Transpose with the scatter phase parallelized
-// over source rows. Each output slot is written exactly once (the
-// per-column cursor is claimed atomically via pre-partitioned counts),
-// so no locking of the value array is needed.
+// over source rows, split into nnz-balanced spans (the per-row scatter
+// cost is its entry count, so hub-heavy rows get their own span instead
+// of serializing one worker). Each output slot is written exactly once
+// (the per-column cursor is claimed via pre-partitioned counts), so no
+// locking of the value array is needed.
 func TransposeParallel[V any](m *CSR[V], workers int) *CSR[V] {
 	w := parallel.Workers(workers, m.rows)
 	if w <= 1 || m.NNZ() == 0 {
 		return m.Transpose()
 	}
-	// Per-worker column counts, then prefix-sum to give every worker a
-	// private cursor range per column — a textbook two-pass parallel
-	// counting sort that keeps source-row order within each column.
-	chunk := (m.rows + w - 1) / w
+	pb := getInt64(m.rows + 1)
+	prefix := pb.xs
+	for i := 0; i <= m.rows; i++ {
+		prefix[i] = int64(m.rowPtr[i])
+	}
+	bounds := parallel.BalancedSpans(prefix, w)
+	putInt64(pb)
+	// Per-span column counts, then prefix-sum to give every span a
+	// private cursor range per column — a two-pass parallel counting
+	// sort that keeps source-row order within each column.
 	counts := make([][]int, w)
-	parallel.For(m.rows, w, func(lo, hi int) {
+	parallel.ForSpans(bounds, func(s, lo, hi int) {
 		c := make([]int, m.cols)
 		for p := m.rowPtr[lo]; p < m.rowPtr[hi]; p++ {
 			c[m.colIdx[p]]++
 		}
-		counts[lo/chunk] = c
+		counts[s] = c
 	})
 	rowPtr := make([]int, m.cols+1)
 	for j := 0; j < m.cols; j++ {
@@ -111,7 +167,7 @@ func TransposeParallel[V any](m *CSR[V], workers int) *CSR[V] {
 				continue
 			}
 			t := counts[b][j]
-			counts[b][j] = total // becomes the block's cursor base
+			counts[b][j] = total // becomes the span's cursor base
 			total += t
 		}
 		rowPtr[j+1] = total
@@ -121,8 +177,8 @@ func TransposeParallel[V any](m *CSR[V], workers int) *CSR[V] {
 	}
 	colIdx := make([]int, m.NNZ())
 	val := make([]V, m.NNZ())
-	parallel.For(m.rows, w, func(lo, hi int) {
-		cursor := counts[lo/chunk]
+	parallel.ForSpans(bounds, func(s, lo, hi int) {
+		cursor := counts[s]
 		for i := lo; i < hi; i++ {
 			for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
 				j := m.colIdx[p]

@@ -1,0 +1,184 @@
+package sparse
+
+import (
+	"adjarray/internal/parallel"
+	"adjarray/internal/semiring"
+)
+
+// EWiseAddIntoParallel is EWiseAddInto with the per-row union merge run
+// across row spans balanced by merge cost (dst's plus src's row entry
+// counts — the work of the two-pointer sweep). Rows are independent and
+// each row's dst-left fold order is unchanged, so the result is
+// bit-identical to the serial merge for any ⊕.
+//
+// The in-place subset fast path is preserved: when src's pattern is a
+// subset of dst's and inPlace is set, spans fold src into dst's value
+// buffer directly (disjoint row ranges — no locking) and dst itself is
+// returned, the zero-allocation steady state of delta maintenance.
+//
+// workers <= 1 (or a matrix too small to split) degrades to the serial
+// kernel, so callers need no special-case.
+func EWiseAddIntoParallel[V any](dst, src *CSR[V], ops semiring.Ops[V], inPlace bool, scratch *MergeScratch[V], workers int) (*CSR[V], error) {
+	if err := sameShape(dst, src); err != nil {
+		return nil, err
+	}
+	if len(src.colIdx) == 0 {
+		return dst, nil
+	}
+	w := parallel.Workers(workers, dst.rows)
+	if w <= 1 {
+		return EWiseAddInto(dst, src, ops, inPlace, scratch)
+	}
+
+	// Load model: the union sweep of row i costs nnz(dst,i)+nnz(src,i).
+	pb := getInt64(dst.rows + 1)
+	prefix := pb.xs
+	prefix[0] = 0
+	for i := 0; i < dst.rows; i++ {
+		prefix[i+1] = prefix[i] +
+			int64(dst.rowPtr[i+1]-dst.rowPtr[i]) + int64(src.rowPtr[i+1]-src.rowPtr[i])
+	}
+	bounds := parallel.BalancedSpans(prefix, w)
+	putInt64(pb)
+
+	// Pass 1: per-row union counts (the exact output offsets pass 2
+	// writes into) plus the pattern-subset check, span-parallel.
+	rowPtr := make([]int, dst.rows+1)
+	spanSubset := make([]bool, w)
+	parallel.ForSpans(bounds, func(s, lo, hi int) {
+		subset := true
+		for i := lo; i < hi; i++ {
+			dc := dst.colIdx[dst.rowPtr[i]:dst.rowPtr[i+1]]
+			sc := src.colIdx[src.rowPtr[i]:src.rowPtr[i+1]]
+			p, q, n := 0, 0, 0
+			for p < len(dc) && q < len(sc) {
+				switch {
+				case dc[p] < sc[q]:
+					p++
+				case dc[p] > sc[q]:
+					subset = false
+					q++
+				default:
+					p++
+					q++
+				}
+				n++
+			}
+			if q < len(sc) {
+				subset = false
+			}
+			rowPtr[i+1] = n + len(dc) - p + len(sc) - q
+		}
+		spanSubset[s] = subset
+	})
+	subset := true
+	for s := 0; s < w; s++ {
+		if bounds[s] < bounds[s+1] && !spanSubset[s] {
+			subset = false
+			break
+		}
+	}
+
+	if inPlace && subset {
+		zeros := make([]int, w)
+		parallel.ForSpans(bounds, func(s, lo, hi int) {
+			z := 0
+			for i := lo; i < hi; i++ {
+				rlo := dst.rowPtr[i]
+				dc := dst.colIdx[rlo:dst.rowPtr[i+1]]
+				p := 0
+				for q := src.rowPtr[i]; q < src.rowPtr[i+1]; q++ {
+					j := src.colIdx[q]
+					for dc[p] < j {
+						p++
+					}
+					sum := ops.Add(dst.val[rlo+p], src.val[q])
+					if ops.IsZero(sum) {
+						z++
+					}
+					dst.val[rlo+p] = sum
+					p++
+				}
+			}
+			zeros[s] = z
+		})
+		total := 0
+		for _, z := range zeros {
+			total += z
+		}
+		if total > 0 {
+			return dst.Prune(ops.IsZero), nil
+		}
+		return dst, nil
+	}
+
+	for i := 0; i < dst.rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	unionNNZ := rowPtr[dst.rows]
+	var colIdx []int
+	var val []V
+	if scratch != nil {
+		srowPtr, scol, sval := scratch.take(dst.rows)
+		copy(srowPtr, rowPtr)
+		rowPtr = srowPtr
+		colIdx, val = scol, sval
+	}
+	colIdx = growTo(colIdx, unionNNZ, scratch != nil)
+	val = growTo(val, unionNNZ, scratch != nil)
+
+	// Pass 2: span-parallel union merge with zero-prune, each row
+	// written into its disjoint [rowPtr[i], rowPtr[i+1]) range;
+	// finalizeTwoPhase compacts the (rare) pruned rows leftward.
+	rowLen := make([]int, dst.rows)
+	parallel.ForSpans(bounds, func(s, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := rowPtr[i]
+			n := 0
+			p, q := dst.rowPtr[i], src.rowPtr[i]
+			dhi, shi := dst.rowPtr[i+1], src.rowPtr[i+1]
+			for p < dhi || q < shi {
+				switch {
+				case q >= shi || (p < dhi && dst.colIdx[p] < src.colIdx[q]):
+					colIdx[base+n] = dst.colIdx[p]
+					val[base+n] = dst.val[p]
+					n++
+					p++
+				case p >= dhi || src.colIdx[q] < dst.colIdx[p]:
+					colIdx[base+n] = src.colIdx[q]
+					val[base+n] = src.val[q]
+					n++
+					q++
+				default:
+					sum := ops.Add(dst.val[p], src.val[q])
+					if !ops.IsZero(sum) {
+						colIdx[base+n] = dst.colIdx[p]
+						val[base+n] = sum
+						n++
+					}
+					p++
+					q++
+				}
+			}
+			rowLen[i] = n
+		}
+	})
+	return finalizeTwoPhase(dst.rows, dst.cols, rowPtr, rowLen, colIdx, val), nil
+}
+
+// growTo returns s resized to length n. When headroom is set (scratch
+// recycling: the buffer will be reused by a steadily growing
+// accumulator) a reallocation over-provisions by half, so a merge
+// sequence whose union grows a little every time doesn't reallocate on
+// every call.
+func growTo[T any](s []T, n int, headroom bool) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	c := n
+	if headroom {
+		c = n + n/2
+	}
+	out := make([]T, n, c)
+	return out
+}

@@ -24,13 +24,11 @@ import (
 // numeric phase folds identically to gustavsonRow.
 
 // symbolicSPA is the stamp-only accumulator of the symbolic phase.
+// Instances are views over pooled stamp boxes (see pool.go); the
+// advanced stamp counter is saved back to the box between phases.
 type symbolicSPA struct {
 	stamp   []int
 	current int
-}
-
-func newSymbolicSPA(cols int) *symbolicSPA {
-	return &symbolicSPA{stamp: make([]int, cols)}
 }
 
 // symbolicRow counts the distinct output columns of row i of a·b using
@@ -122,17 +120,21 @@ func finalizeTwoPhase[V any](rows, cols int, rowPtr, rowLen, colIdx []int, val [
 
 // MulTwoPhase is the serial two-phase symbolic/numeric SpGEMM kernel:
 // exact per-row counts, one exact allocation of the output arrays, then
-// an in-place numeric pass. Bit-identical to MulGustavson/MulMerge for
+// an in-place numeric pass. Scratch (stamp array + value accumulator)
+// comes from the package pools, so repeated multiplications allocate
+// only their exact output. Bit-identical to MulGustavson/MulMerge for
 // every ⊕, including non-commutative and non-associative ones.
 func MulTwoPhase[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
 	if err := checkDims(a, b); err != nil {
 		return nil, err
 	}
-	sym := newSymbolicSPA(b.cols)
+	sb := getStampBox(b.cols)
+	sym := pooledSym(sb)
 	rowPtr := make([]int, a.rows+1)
 	for i := 0; i < a.rows; i++ {
 		rowPtr[i+1] = symbolicRow(a, b, i, sym)
 	}
+	sb.current = sym.current
 	for i := 0; i < a.rows; i++ {
 		rowPtr[i+1] += rowPtr[i]
 	}
@@ -141,9 +143,12 @@ func MulTwoPhase[V any](a, b *CSR[V], ops semiring.Ops[V]) (*CSR[V], error) {
 	val := make([]V, nnz)
 	rowLen := make([]int, a.rows)
 	rowFn := numericRowFor(ops)
-	s := &spa[V]{acc: make([]V, b.cols), stamp: sym.stamp, current: sym.current}
+	pool := accPoolFor[V]()
+	vb := getAccBox[V](pool, b.cols)
+	s := pooledSPA(sb, vb)
 	for i := 0; i < a.rows; i++ {
 		rowLen[i] = rowFn(a, b, ops, i, s, colIdx[rowPtr[i]:rowPtr[i+1]], val[rowPtr[i]:rowPtr[i+1]])
 	}
+	releaseKernelScratch(pool, sb, s, vb)
 	return finalizeTwoPhase(a.rows, b.cols, rowPtr, rowLen, colIdx, val), nil
 }

@@ -1,0 +1,275 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/dataset"
+	"adjarray/internal/semiring"
+	"adjarray/internal/value"
+)
+
+// adversarialVertices stresses the interner's byte-oriented hash
+// through the slow append path: unicode, embedded NUL, 0xff, empty
+// string, and long shared prefixes.
+var adversarialVertices = []string{
+	"", "\x00", "\xff", "a\x00b", "κόμβος", "🔑", "v", "v1", "v10",
+	"prefix-aaaaaaaaaaaaaaaa", "prefix-aaaaaaaaaaaaaaab",
+}
+
+// TestInternedSlowPathMatchesBatch drives growth through the interner
+// slow path (every batch introduces vertices) and checks the
+// incremental adjacency against a one-shot batch construction.
+func TestInternedSlowPathMatchesBatch(t *testing.T) {
+	ops := semiring.PlusTimes()
+	v := NewView(ops, Options{})
+	var all []Edge[float64]
+	seq := 0
+	addBatch := func(es ...Edge[float64]) {
+		t.Helper()
+		if err := v.Append(es); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, es...)
+	}
+	// Round 1: adversarial vertices, pairwise.
+	var batch []Edge[float64]
+	for i := 0; i+1 < len(adversarialVertices); i++ {
+		batch = append(batch, Weighted(fmt.Sprintf("e%06d", seq),
+			adversarialVertices[i], adversarialVertices[i+1], float64(i+1), 2))
+		seq++
+	}
+	addBatch(batch...)
+	// Round 2: revisit known vertices (fast path) interleaved with new.
+	r := rand.New(rand.NewSource(3))
+	for round := 0; round < 20; round++ {
+		var b []Edge[float64]
+		for i := 0; i < 7; i++ {
+			src := adversarialVertices[r.Intn(len(adversarialVertices))]
+			dst := fmt.Sprintf("new-%d-%d", round, i)
+			if i%2 == 0 {
+				src, dst = dst, src
+			}
+			b = append(b, Weighted(fmt.Sprintf("e%06d", seq), src, dst, 1, float64(i+1)))
+			seq++
+		}
+		addBatch(b...)
+	}
+	snap, err := v.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-shot oracle from the log itself.
+	oracle, err := assoc.Correlate(snap.Eout, snap.Ein, ops, assoc.MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := assoc.Diff(oracle, snap.Adjacency, value.Float64Equal, value.FormatFloat); diff != "" {
+		t.Fatalf("interned incremental state diverges from batch: %s", diff)
+	}
+	// The universe sets must be interner-bound and resolve every vertex.
+	for _, set := range []interface {
+		Interned() bool
+		Len() int
+		Key(int) string
+		Index(string) (int, bool)
+	}{snap.Eout.ColKeys(), snap.Ein.ColKeys()} {
+		if !set.Interned() {
+			t.Fatal("universe key set not interner-bound")
+		}
+		for i := 0; i < set.Len(); i++ {
+			if p, ok := set.Index(set.Key(i)); !ok || p != i {
+				t.Fatalf("bound universe Index(%q) = %d,%v want %d", set.Key(i), p, ok, i)
+			}
+		}
+	}
+}
+
+// TestParallelMaterializeMatchesSerial ingests the identical edge
+// sequence into a serial view and a parallel one (workers=4, tiny
+// budget so the parallel fold actually runs) and requires bit-identical
+// snapshots at several epochs.
+func TestParallelMaterializeMatchesSerial(t *testing.T) {
+	ops := semiring.PlusTimes()
+	r := rand.New(rand.NewSource(5))
+	g := dataset.RMAT(r, 9, 8)
+	es := g.Edges()
+	serial := NewView(ops, Options{})
+	par := NewView(ops, Options{
+		Mul:           assoc.MulOptions{Workers: 4, FlopFloor: -1},
+		PendingBudget: 1, // force a fold per batch
+	})
+	per := 200
+	for lo := 0; lo < len(es); lo += per {
+		hi := lo + per
+		if hi > len(es) {
+			hi = len(es)
+		}
+		batch := make([]Edge[float64], hi-lo)
+		for j, e := range es[lo:hi] {
+			batch[j] = Weighted(e.Key, e.Src, e.Dst, 1, float64(j%5)+1)
+		}
+		for _, v := range []*View[float64]{serial, par} {
+			if err := v.Append(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ss, err := serial.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := par.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := assoc.Diff(ss.Adjacency, ps.Adjacency, value.Float64Equal, value.FormatFloat); diff != "" {
+			t.Fatalf("parallel materialize diverges at %d edges: %s", hi, diff)
+		}
+	}
+}
+
+// TestParallelMaterializeLargeFold exercises foldPendingParallel with a
+// backlog above minParallelFold (the serial-vs-parallel routing
+// threshold) and duplicate cells that must fold in arrival order.
+func TestParallelMaterializeLargeFold(t *testing.T) {
+	ops := semiring.MaxPlus()
+	r := rand.New(rand.NewSource(9))
+	mk := func(workers int) *View[float64] {
+		return NewView(ops, Options{
+			Mul:           assoc.MulOptions{Workers: workers, FlopFloor: -1},
+			PendingBudget: 1 << 20, // let the backlog grow past minParallelFold
+		})
+	}
+	serial, par := mk(0), mk(4)
+	seq := 0
+	verts := 40 // few vertices → heavy duplicate-cell folding
+	var batch []Edge[float64]
+	for i := 0; i < minParallelFold+3000; i++ {
+		batch = append(batch, Weighted(fmt.Sprintf("e%07d", seq),
+			fmt.Sprintf("v%02d", r.Intn(verts)), fmt.Sprintf("v%02d", r.Intn(verts)),
+			float64(r.Intn(7))-3, float64(r.Intn(5))))
+		seq++
+		if len(batch) == 997 {
+			for _, v := range []*View[float64]{serial, par} {
+				if err := v.Append(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			batch = batch[:0]
+		}
+	}
+	for _, v := range []*View[float64]{serial, par} {
+		if err := v.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss, err := serial.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := par.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := assoc.Diff(ss.Adjacency, ps.Adjacency, value.Float64Equal, value.FormatFloat); diff != "" {
+		t.Fatalf("large parallel fold diverges: %s", diff)
+	}
+}
+
+// TestScratchPoolAliasing is the pooled-buffer leak check: concurrent
+// parallel multiplications (hammering the sync.Pool kernel scratch)
+// race against a view's Append/Snapshot/Compact cycle (whose folds and
+// partials use the same pools), under -race in CI. Every multiplication
+// result is differentially checked against a serial reference computed
+// AFTER the concurrency, so any cross-call buffer reuse that leaked
+// state into a result is caught as a value difference.
+func TestScratchPoolAliasing(t *testing.T) {
+	ops := semiring.PlusTimes()
+	r := rand.New(rand.NewSource(21))
+	g := dataset.RMAT(r, 8, 8)
+	es := g.Edges()
+
+	// A static pair for the concurrent Muls.
+	var outT, inT []assoc.Triple[float64]
+	for _, e := range es[:2000] {
+		outT = append(outT, assoc.Triple[float64]{Row: e.Key, Col: e.Src, Val: 1})
+		inT = append(inT, assoc.Triple[float64]{Row: e.Key, Col: e.Dst, Val: 2})
+	}
+	eout := assoc.FromTriples(outT, nil)
+	ein := assoc.FromTriples(inT, nil)
+
+	view := NewView(ops, Options{Mul: assoc.MulOptions{Workers: 2, FlopFloor: -1}, PendingBudget: 256})
+
+	var wg sync.WaitGroup
+	results := make([]*assoc.Array[float64], 8)
+	for m := 0; m < 8; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			a, err := assoc.Correlate(eout, ein, ops, assoc.MulOptions{Workers: 3, FlopFloor: -1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[m] = a
+		}(m)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seq := 0
+		for round := 0; round < 30; round++ {
+			batch := make([]Edge[float64], 100)
+			for i := range batch {
+				e := es[(seq+i)%len(es)]
+				batch[i] = Weighted(fmt.Sprintf("s%07d", seq+i), e.Src, e.Dst, 1.0, 1)
+			}
+			seq += len(batch)
+			if err := view.Append(batch); err != nil {
+				t.Error(err)
+				return
+			}
+			if round%5 == 1 {
+				if _, err := view.Snapshot(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if round%11 == 7 {
+				if err := view.Compact(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Serial reference, computed after all pooled activity.
+	want, err := assoc.Correlate(eout, ein, ops, assoc.MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, got := range results {
+		if diff := assoc.Diff(want, got, value.Float64Equal, value.FormatFloat); diff != "" {
+			t.Fatalf("concurrent Mul %d corrupted by pooled scratch: %s", m, diff)
+		}
+	}
+	// The view's state must equal its own one-shot rebuild.
+	snap, err := view.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := assoc.Correlate(snap.Eout, snap.Ein, ops, assoc.MulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := assoc.Diff(oracle, snap.Adjacency, value.Float64Equal, value.FormatFloat); diff != "" {
+		t.Fatalf("view state corrupted by pooled scratch: %s", diff)
+	}
+}

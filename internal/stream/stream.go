@@ -13,6 +13,19 @@
 // each batch through the shared partial-product engine in
 // internal/shard instead of rebuilding from scratch.
 //
+// Vertex resolution goes through per-side slab-backed key interners
+// (keys.Interner): every distinct endpoint string is stored once and
+// mapped to a stable dense id, and the view maintains one flat id →
+// column-position array per side. The hot Append path therefore
+// resolves endpoints with two array reads per edge — no map[string]int,
+// no binary search, no re-sorting of string slices — and a batch that
+// introduces new vertices sorts only the NEW keys (typically a handful)
+// before the merge-sweep union grows the universe. The universe key
+// Sets are Bound to the interners, so every downstream lookup
+// (EmbedInto, merge alignment, facade queries against snapshots)
+// resolves through the same hash table instead of building per-Set
+// maps.
+//
 // Soundness hypothesis: folding a delta into already-folded state
 // re-associates the per-cell ⊕ fold — ((earlier edges) ⊕ (delta))
 // instead of the flat left-to-right fold over all edge keys. Because
@@ -36,11 +49,13 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sort"
 	"strings"
 	"sync"
 
 	"adjarray/internal/assoc"
 	"adjarray/internal/keys"
+	"adjarray/internal/parallel"
 	"adjarray/internal/semiring"
 	"adjarray/internal/shard"
 	"adjarray/internal/sparse"
@@ -77,6 +92,9 @@ func Weighted[V any](key, src, dst string, out, in V) Edge[V] {
 // Options tunes a View.
 type Options struct {
 	// Mul tunes the per-batch partial products and Compact rebuilds.
+	// Mul.Workers also drives the materialize fold: with parallelism
+	// requested, the pending-backlog fold and the ⊕-merge into the main
+	// adjacency run across flop-balanced row spans.
 	Mul assoc.MulOptions
 	// CompactEvery, when > 0, triggers an automatic Compact after that
 	// many appends — bounding drift for non-associative ⊕ and re-packing
@@ -112,18 +130,44 @@ type Options struct {
 // reorders contributions.
 //
 // The hot Append path is allocation-lean by construction: batch
-// vertices resolve against the log's cached reverse indexes to integer
-// positions, the log grows by single-entry CSR rows in place, and the
-// pending backlog is two flat slices. A batch that introduces vertices
-// unseen by the log takes the general array route instead (build delta
-// incidence arrays, engine partial product, ⊕-merge) — rare once a
-// workload's vertex universe saturates.
+// vertices resolve through the per-side interners to integer positions
+// (two flat array reads per edge), the log grows by single-entry CSR
+// rows in place, and the pending backlog is two flat slices. A batch
+// that introduces vertices unseen by the log sorts only the new keys
+// and grows the universe by one merge sweep — cold ingest from an empty
+// view stays amortized even though nearly every early batch lands
+// there.
 type View[V any] struct {
 	mu  sync.Mutex
 	eng shard.Engine[V]
 	opt Options
 
-	eout, ein *assoc.Array[V] // append-only incidence log
+	eout, ein *assoc.Array[V] // append-only incidence log (reified rows)
+
+	// The fast path stages its unit rows here instead of growing the
+	// log arrays per batch: reifying a batch into eout/ein costs five
+	// small wrapper allocations (Set, two CSRs, two Arrays) every
+	// append, while staging is five slice appends into view-owned
+	// buffers. flushLogLocked reifies the whole run in one shot at the
+	// next boundary that needs the arrays (Snapshot, Compact, a
+	// universe-growing batch) — so between snapshots the hot path
+	// allocates only on amortized slice growth. Column positions stay
+	// valid while staged because only the slow path changes the
+	// universe, and it flushes first. lastKey tracks the newest edge
+	// key across reified AND staged rows (v.edges > 0 marks it valid).
+	stageKeys           []string
+	stageOut, stageIn   []int
+	stageOutV, stageInV []V
+	lastKey             string
+
+	// srcIn/dstIn intern endpoint strings to stable dense ids; srcPos/
+	// dstPos map each id to its column position in the current universe
+	// (-1: interned but not, or no longer provisionally, in the
+	// universe). The position arrays are REPLACED, never mutated, when
+	// the universe grows, so the InternIndex bindings handed to older
+	// Sets keep describing the universe those Sets froze.
+	srcIn, dstIn   *keys.Interner
+	srcPos, dstPos []int32
 
 	main       *assoc.Array[V] // materialized adjacency (snapshots share it); always spans the log's vertex universe
 	pendCell   []int64         // pending contribution cells, row*C+col in universe coords, arrival order
@@ -138,14 +182,6 @@ type View[V any] struct {
 	autoSeq  int    // generator for auto-assigned edge keys
 	autoBase string // prefix for auto keys; seeded past the log's last key
 
-	// lastSrc/lastDst are the column sets of the most recent fast
-	// append — the signal that the universe has stabilized and the
-	// sets' cached reverse indexes are worth building. While nil (after
-	// a slow append grew the universe) resolution binary-searches
-	// instead, so cold ingest never pays an O(universe) map build per
-	// batch.
-	lastSrc, lastDst *keys.Set
-
 	scr batchScratch[V] // per-append buffers, reused under mu
 }
 
@@ -153,15 +189,22 @@ type View[V any] struct {
 // under the view lock, so one set per view suffices; in steady state the
 // ingest path stops allocating.
 type batchScratch[V any] struct {
-	rowKeys    []string
-	srcs, dsts []string
-	outs, ins  []V
-	srcID      []int
-	dstID      []int
-	enc        []int64 // materialize: (cell, seq) encoding
-	foldPtr    []int   // materialize: fold CSR row pointer
-	foldCol    []int
-	foldVal    []V
+	rowKeys        []string
+	srcs, dsts     []string
+	outs, ins      []V
+	srcIDs, dstIDs []int32 // interner ids, parallel to srcs/dsts
+	srcID          []int   // column positions, parallel to srcs
+	dstID          []int
+	newIDs         []int32  // slow path: ids of keys new to one universe
+	newKeys        []string // slow path: their key strings, then sorted
+	enc            []int64  // materialize: (cell, seq) encoding
+	foldPtr        []int    // materialize: fold CSR row pointer
+	foldCol        []int
+	foldVal        []V
+	tmpCol         []int   // parallel materialize: span-local fold staging
+	tmpVal         []V     //
+	wprefix        []int64 // parallel materialize: per-row weight prefix
+	spanOf         []int   // parallel materialize: per-entry span index
 }
 
 // NewView creates an empty view for the given operator pair.
@@ -174,6 +217,8 @@ func NewView[V any](ops semiring.Ops[V], opt Options) *View[V] {
 		eout:  assoc.FromTriples[V](nil, nil),
 		ein:   assoc.FromTriples[V](nil, nil),
 		main:  assoc.FromTriples[V](nil, nil),
+		srcIn: keys.NewInterner(),
+		dstIn: keys.NewInterner(),
 		exact: true,
 	}
 }
@@ -195,7 +240,59 @@ func FromIncidence[V any](eout, ein *assoc.Array[V], ops semiring.Ops[V], opt Op
 	}
 	v.eout, v.ein, v.main = eout, ein, adj
 	v.edges = eout.RowKeys().Len()
+	v.lastKey = eout.RowKeys().Key(v.edges - 1)
+	v.rebindLocked()
 	return v, nil
+}
+
+// flushLogLocked reifies the staged fast-path rows into the log arrays
+// — one AppendIncidencePair for the whole run since the last flush.
+// Boundaries that read or reshape the log (Snapshot, Compact, the
+// universe-growing append paths) flush first; between them the arrays'
+// ROW dimension lags the staged run while the column universe stays
+// exact (only flushed paths may grow it).
+func (v *View[V]) flushLogLocked() error {
+	if len(v.stageKeys) == 0 {
+		return nil
+	}
+	eout, ein, err := assoc.AppendIncidencePair(v.eout, v.ein, v.stageKeys, v.stageOut, v.stageIn, v.stageOutV, v.stageInV)
+	if err != nil {
+		return err
+	}
+	v.eout, v.ein = eout, ein
+	v.stageKeys = v.stageKeys[:0]
+	v.stageOut, v.stageIn = v.stageOut[:0], v.stageIn[:0]
+	v.stageOutV, v.stageInV = v.stageOutV[:0], v.stageInV[:0]
+	return nil
+}
+
+// rebindLocked resynchronizes the interners with the log's column
+// universes from scratch — the recovery path for batches that grow the
+// universe outside the interner-aware route (AppendArrays, the packed-
+// coordinate overflow fallback) and the FromIncidence bootstrap. It
+// interns every universe key (existing ids are reused; ids never
+// change) and rebuilds the id→position arrays, then binds the universe
+// Sets so their Index resolves through the interner.
+func (v *View[V]) rebindLocked() {
+	v.srcPos = rebindSide(v.srcIn, v.eout.ColKeys())
+	v.dstPos = rebindSide(v.dstIn, v.ein.ColKeys())
+}
+
+func rebindSide(in *keys.Interner, set *keys.Set) []int32 {
+	n := set.Len()
+	ids := make([]int32, n)
+	for i := 0; i < n; i++ {
+		ids[i] = in.Intern(set.Key(i))
+	}
+	pos := make([]int32, in.Len())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, id := range ids {
+		pos[id] = int32(i)
+	}
+	set.Bind(&keys.InternIndex{In: in, Pos: pos})
+	return pos
 }
 
 // Append ingests one edge batch. Edge keys must be strictly increasing
@@ -222,8 +319,8 @@ func (v *View[V]) Append(edges []Edge[V]) error {
 				// Seed the generator past whatever is already in the
 				// log (e.g. a FromIncidence bootstrap with explicit
 				// keys), so auto keys keep the ascending discipline.
-				if lk := v.eout.RowKeys(); lk.Len() > 0 {
-					v.autoBase = lk.Key(lk.Len()-1) + "+"
+				if v.edges > 0 {
+					v.autoBase = v.lastKey + "+"
 				} else {
 					v.autoBase = "e"
 				}
@@ -247,6 +344,12 @@ func (v *View[V]) Append(edges []Edge[V]) error {
 		s.outs = append(s.outs, ov)
 		s.ins = append(s.ins, iv)
 	}
+	// Cross-batch key discipline, validated before anything is staged
+	// or committed: the batch's first key must sort after everything in
+	// the log, reified or staged.
+	if v.edges > 0 && s.rowKeys[0] <= v.lastKey {
+		return fmt.Errorf("stream: batch key %q does not sort after the log's last key %q", s.rowKeys[0], v.lastKey)
+	}
 	if err := v.appendResolvedLocked(); err != nil {
 		return err
 	}
@@ -255,134 +358,224 @@ func (v *View[V]) Append(edges []Edge[V]) error {
 }
 
 // appendResolvedLocked applies the batch staged in v.scr: the fused fast
-// path when every batch vertex already exists in the log's column sets,
-// the general array route otherwise.
+// path when every batch vertex resolves through the interners to a
+// position in the current universe, the general grow route otherwise.
 func (v *View[V]) appendResolvedLocked() error {
 	s := &v.scr
-	srcSet, dstSet := v.eout.ColKeys(), v.ein.ColKeys()
 	n := len(s.rowKeys)
-	resolved := true
+	if cap(s.srcIDs) < n {
+		s.srcIDs = make([]int32, 0, 2*n)
+		s.dstIDs = make([]int32, 0, 2*n)
+	}
+	s.srcIDs, s.dstIDs = s.srcIDs[:n], s.dstIDs[:n]
 	s.srcID = s.srcID[:0]
 	s.dstID = s.dstID[:0]
-	if srcSet == v.lastSrc && dstSet == v.lastDst {
-		// Universe stable since the last fast append: the sets' cached
-		// reverse indexes amortize, so resolve through them.
-		for i := 0; i < n && resolved; i++ {
-			si, okS := srcSet.Index(s.srcs[i])
-			di, okD := dstSet.Index(s.dsts[i])
-			if !okS || !okD {
+	// One read-lock acquisition per side resolves the whole batch to
+	// interner ids; ids then map to column positions with a flat array
+	// read. No maps, no binary searches, no sorting.
+	resolved := v.srcIn.LookupBatch(s.srcs, s.srcIDs) && v.dstIn.LookupBatch(s.dsts, s.dstIDs)
+	if resolved {
+		for i := 0; i < n; i++ {
+			sid, did := s.srcIDs[i], s.dstIDs[i]
+			if int(sid) >= len(v.srcPos) || v.srcPos[sid] < 0 ||
+				int(did) >= len(v.dstPos) || v.dstPos[did] < 0 {
 				resolved = false
 				break
 			}
-			s.srcID = append(s.srcID, si)
-			s.dstID = append(s.dstID, di)
-		}
-	} else {
-		// Universe changed recently: binary-search instead — slower per
-		// lookup, but never forces the O(universe) map build that would
-		// otherwise recur on every batch while the universe still grows.
-		for i := 0; i < n && resolved; i++ {
-			si, okS := srcSet.IndexSorted(s.srcs[i])
-			di, okD := dstSet.IndexSorted(s.dsts[i])
-			if !okS || !okD {
-				resolved = false
-				break
-			}
-			s.srcID = append(s.srcID, si)
-			s.dstID = append(s.dstID, di)
+			s.srcID = append(s.srcID, int(v.srcPos[sid]))
+			s.dstID = append(s.dstID, int(v.dstPos[did]))
 		}
 	}
-	C := int64(dstSet.Len())
-	if resolved && (C == 0 || int64(srcSet.Len()) <= math.MaxInt64/C) {
+	C := int64(v.ein.ColKeys().Len())
+	if resolved && (C == 0 || int64(v.eout.ColKeys().Len()) <= math.MaxInt64/C) {
 		return v.appendFastLocked()
 	}
 	return v.appendSlowLocked()
 }
 
 // appendSlowLocked handles a staged batch that introduces vertices
-// unseen by the log: the column universes grow by merge-sweep union
-// (GrowCols — no hashing, and the growth maps come back for free), the
-// pending backlog's integer coordinates are rebased into the grown
-// universe — O(backlog), no fold — and the batch's contributions queue
-// raw exactly like the fast path's. Cold ingest from an empty view
-// therefore stays amortized even though nearly every early batch lands
-// here.
+// unseen by the log. The batch endpoints are interned (new keys land in
+// the slab and get fresh ids); only the keys NEW to each universe are
+// sorted — a handful, not the whole batch — and the column universes
+// grow by one merge-sweep union (GrowCols, no hashing, growth maps for
+// free). The id→position arrays are rebuilt copy-on-write, the pending
+// backlog's integer coordinates are rebased into the grown universe —
+// O(backlog), no fold — and the batch's contributions queue raw exactly
+// like the fast path's.
 func (v *View[V]) appendSlowLocked() error {
 	s := &v.scr
 	n := len(s.rowKeys)
-	// Validate the cross-batch key discipline up front: everything past
-	// this point mutates view state that is awkward to unwind.
-	if last := v.eout.RowKeys(); last.Len() > 0 && s.rowKeys[0] <= last.Key(last.Len()-1) {
-		return fmt.Errorf("stream: batch key %q does not sort after the log's last key %q", s.rowKeys[0], last.Key(last.Len()-1))
-	}
 	if v.opt.CheckAssociative {
 		if err := v.checkBatchAssociativeLocked(); err != nil {
 			return err
 		}
 	}
-	srcSet, si := argsortUnique(s.srcs)
-	dstSet, di := argsortUnique(s.dsts)
-	eoutG, oldSrcPos, bSrcPos, err := v.eout.GrowCols(srcSet)
+	// Reify the staged run first: its column positions refer to the
+	// universe this batch is about to grow.
+	if err := v.flushLogLocked(); err != nil {
+		return err
+	}
+	v.srcIn.InternBatch(s.srcs, s.srcIDs)
+	v.dstIn.InternBatch(s.dsts, s.dstIDs)
+	srcPos, err := v.growSideLocked(v.srcIn, v.srcPos, s.srcIDs, true)
 	if err != nil {
 		return err
 	}
-	einG, oldDstPos, bDstPos, err := v.ein.GrowCols(dstSet)
+	dstPos, err := v.growSideLocked(v.dstIn, v.dstPos, s.dstIDs, false)
 	if err != nil {
 		return err
 	}
-	newC := int64(einG.ColKeys().Len())
-	if newC > 0 && int64(eoutG.ColKeys().Len()) > math.MaxInt64/newC {
+	newC := int64(v.ein.ColKeys().Len())
+	if newC > 0 && int64(v.eout.ColKeys().Len()) > math.MaxInt64/newC {
 		// Cell coordinates no longer pack into an int64: fall back to
 		// the array route (flush + direct merge), which never packs.
-		// Nothing observable has been mutated yet.
+		// The universes have already grown consistently, so only the
+		// log rows and the adjacency merge remain.
 		dout, din, err := buildDelta(s.rowKeys, s.srcs, s.dsts, s.outs, s.ins)
 		if err != nil {
 			return err
 		}
 		return v.appendArraysLocked(dout, din, nil)
 	}
-	oldC := int64(v.ein.ColKeys().Len())
-	// Per-edge positions in the grown universes, via the batch-set maps.
+	// Per-edge positions in the grown universes.
 	s.srcID, s.dstID = s.srcID[:0], s.dstID[:0]
 	for i := 0; i < n; i++ {
-		gs, gd := si[i], di[i]
-		if bSrcPos != nil {
-			gs = bSrcPos[gs]
-		}
-		if bDstPos != nil {
-			gd = bDstPos[gd]
-		}
-		s.srcID = append(s.srcID, gs)
-		s.dstID = append(s.dstID, gd)
+		s.srcID = append(s.srcID, int(srcPos[s.srcIDs[i]]))
+		s.dstID = append(s.dstID, int(dstPos[s.dstIDs[i]]))
 	}
-	eout, ein, err := assoc.AppendIncidencePair(eoutG, einG, s.rowKeys, s.srcID, s.dstID, s.outs, s.ins)
+	eout, ein, err := assoc.AppendIncidencePair(v.eout, v.ein, s.rowKeys, s.srcID, s.dstID, s.outs, s.ins)
 	if err != nil {
 		return err
 	}
-	// Rebase the backlog into the grown universe — only past this point
-	// is the batch committed, so a failed append leaves coordinates
-	// consistent with the (unchanged) view.
-	if len(v.pendCell) > 0 && (oldSrcPos != nil || oldDstPos != nil || oldC != newC) {
-		for i, cell := range v.pendCell {
-			r, c := cell/oldC, cell%oldC
-			if oldSrcPos != nil {
-				r = int64(oldSrcPos[r])
-			}
-			if oldDstPos != nil {
-				c = int64(oldDstPos[c])
-			}
-			v.pendCell[i] = r*newC + c
-		}
-	}
-	v.lastSrc, v.lastDst = nil, nil
 	v.eout, v.ein = eout, ein
 	return v.commitBatchLocked(newC)
 }
 
+// growSideLocked grows one side's column universe to cover the batch
+// ids in batchIDs, committing the grown array, the rebased backlog
+// coordinates (the src side owns the row coordinate, the dst side the
+// column), and the new id→position array. It returns the committed
+// position array. When the batch introduces no new keys the existing
+// position array is returned untouched.
+func (v *View[V]) growSideLocked(in *keys.Interner, pos []int32, batchIDs []int32, isSrc bool) ([]int32, error) {
+	s := &v.scr
+	// Collect the distinct ids that are not (or not yet) in the
+	// universe, in first-appearance order, using a grown copy of the
+	// position array as the visited set (-2 marks "queued").
+	total := in.Len()
+	newPos := make([]int32, total)
+	copy(newPos, pos)
+	for i := len(pos); i < total; i++ {
+		newPos[i] = -1
+	}
+	s.newIDs = s.newIDs[:0]
+	for _, id := range batchIDs {
+		if newPos[id] == -1 {
+			newPos[id] = -2
+			s.newIDs = append(s.newIDs, id)
+		}
+	}
+	side := v.eout
+	if !isSrc {
+		side = v.ein
+	}
+	if len(s.newIDs) == 0 {
+		// No growth on this side: keep the existing array and binding.
+		if len(newPos) == len(pos) {
+			return pos, nil
+		}
+		// Interner grew (orphans from an earlier failed batch) but this
+		// universe did not; publish the extended map so ids stay in
+		// bounds.
+		side.ColKeys().Bind(&keys.InternIndex{In: in, Pos: newPos})
+		if isSrc {
+			v.srcPos = newPos
+		} else {
+			v.dstPos = newPos
+		}
+		return newPos, nil
+	}
+	// Sort ONLY the new keys — the interner already deduplicated them.
+	s.newKeys = s.newKeys[:0]
+	for _, id := range s.newIDs {
+		s.newKeys = append(s.newKeys, in.Key(id))
+	}
+	order := make([]int, len(s.newIDs))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int { return strings.Compare(s.newKeys[a], s.newKeys[b]) })
+	sorted := make([]string, len(order))
+	for j, oi := range order {
+		sorted[j] = s.newKeys[oi]
+	}
+	extra, err := keys.FromSorted(sorted)
+	if err != nil {
+		return nil, fmt.Errorf("stream: batch keys: %w", err)
+	}
+	grown, oldPos, extraPos, err := side.GrowCols(extra)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild this side's id→position map copy-on-write: existing ids
+	// remap through oldPos; new ids take their union positions.
+	for id, p := range newPos {
+		switch {
+		case p >= 0 && oldPos != nil:
+			newPos[id] = int32(oldPos[p])
+		case p == -2:
+			newPos[id] = -1 // filled from the sorted order below
+		}
+	}
+	for j, oi := range order {
+		up := j
+		if extraPos != nil {
+			up = extraPos[j]
+		}
+		newPos[s.newIDs[oi]] = int32(up)
+	}
+	// Rebase the backlog into the grown universe. The source side owns
+	// the row coordinate, the destination side the column; the column
+	// stride changes only when the dst side grows, and the caller grows
+	// dst AFTER src, so rebasing per side in call order stays exact.
+	oldC := int64(v.ein.ColKeys().Len())
+	if len(v.pendCell) > 0 && oldPos != nil {
+		if isSrc {
+			for i, cell := range v.pendCell {
+				r, c := cell/oldC, cell%oldC
+				v.pendCell[i] = int64(oldPos[r])*oldC + c
+			}
+		} else {
+			newC := int64(grown.ColKeys().Len())
+			for i, cell := range v.pendCell {
+				r, c := cell/oldC, cell%oldC
+				v.pendCell[i] = r*newC + int64(oldPos[c])
+			}
+		}
+	} else if !isSrc && len(v.pendCell) > 0 && oldC != int64(grown.ColKeys().Len()) {
+		newC := int64(grown.ColKeys().Len())
+		for i, cell := range v.pendCell {
+			r, c := cell/oldC, cell%oldC
+			v.pendCell[i] = r*newC + c
+		}
+	}
+	grown.ColKeys().Bind(&keys.InternIndex{In: in, Pos: newPos})
+	if isSrc {
+		v.eout = grown
+		v.srcPos = newPos
+	} else {
+		v.ein = grown
+		v.dstPos = newPos
+	}
+	return newPos, nil
+}
+
 // appendFastLocked is the steady-state ingest path: all batch vertices
-// resolved to positions in the (unchanged) universe, so the log grows by
-// unit rows and the batch's contributions queue as raw (cell, value)
-// pairs — no delta arrays, no per-batch product, no key-set work.
+// resolved to positions in the (unchanged) universe, so the batch's
+// unit rows are STAGED (five slice appends; reified in bulk at the next
+// flush boundary) and its contributions queue as raw (cell, value)
+// pairs — no delta arrays, no per-batch product, no key-set work, no
+// wrapper allocations.
 func (v *View[V]) appendFastLocked() error {
 	s := &v.scr
 
@@ -391,14 +584,12 @@ func (v *View[V]) appendFastLocked() error {
 			return err
 		}
 	}
-	eout, ein, err := assoc.AppendIncidencePair(v.eout, v.ein, s.rowKeys, s.srcID, s.dstID, s.outs, s.ins)
-	if err != nil {
-		return err
-	}
-	C := int64(v.ein.ColKeys().Len())
-	v.lastSrc, v.lastDst = v.eout.ColKeys(), v.ein.ColKeys()
-	v.eout, v.ein = eout, ein
-	return v.commitBatchLocked(C)
+	v.stageKeys = append(v.stageKeys, s.rowKeys...)
+	v.stageOut = append(v.stageOut, s.srcID...)
+	v.stageIn = append(v.stageIn, s.dstID...)
+	v.stageOutV = append(v.stageOutV, s.outs...)
+	v.stageInV = append(v.stageInV, s.ins...)
+	return v.commitBatchLocked(int64(v.ein.ColKeys().Len()))
 }
 
 // commitBatchLocked is the shared tail of both append paths: it queues
@@ -409,11 +600,28 @@ func (v *View[V]) appendFastLocked() error {
 func (v *View[V]) commitBatchLocked(C int64) error {
 	s := &v.scr
 	ops := v.eng.Ops
+	if need := len(v.pendCell) + len(s.srcID); cap(v.pendCell) < need {
+		// Grow by doubling (the built-in append backs off to ~1.25x for
+		// large slices): the backlog fills toward the fold budget and
+		// resets keeping its capacity, so growth stops after the first
+		// fold cycle. Never pre-reserve the budget itself — it is a CAP,
+		// and callers legitimately set it huge to defer folding.
+		c := 2 * cap(v.pendCell)
+		if c < need {
+			c = need
+		}
+		pc := make([]int64, len(v.pendCell), c)
+		pv := make([]V, len(v.pendVal), c)
+		copy(pc, v.pendCell)
+		copy(pv, v.pendVal)
+		v.pendCell, v.pendVal = pc, pv
+	}
 	for i := range s.srcID {
 		v.pendCell = append(v.pendCell, int64(s.srcID[i])*C+int64(s.dstID[i]))
 		v.pendVal = append(v.pendVal, ops.Mul(s.outs[i], s.ins[i]))
 	}
 	v.edges += len(s.rowKeys)
+	v.lastKey = s.rowKeys[len(s.rowKeys)-1]
 	v.appends++
 	v.epoch++
 	if len(v.pendVal) >= v.pendingBudget() {
@@ -531,8 +739,9 @@ func (v *View[V]) AppendArrays(dout, din *assoc.Array[V]) error {
 // appendArraysLocked applies one delta batch on the general array route:
 // the batch's partial product (computed through the shared shard engine
 // when not supplied) is ⊕-merged into the main adjacency directly. This
-// is the only path that can grow the vertex universe, so the pending
-// backlog — encoded in the old universe's coordinates — is folded first.
+// path can grow the vertex universe outside the interner-aware route,
+// so the pending backlog — encoded in the old universe's coordinates —
+// is folded first, and the interners are resynchronized after.
 func (v *View[V]) appendArraysLocked(dout, din, partial *assoc.Array[V]) error {
 	if !dout.RowKeys().Equal(din.RowKeys()) {
 		return fmt.Errorf("stream: delta incidence arrays disagree on edge keys")
@@ -552,13 +761,17 @@ func (v *View[V]) appendArraysLocked(dout, din, partial *assoc.Array[V]) error {
 			return fmt.Errorf("stream: %w", err)
 		}
 	}
-	// Fold the backlog under the universe its coordinates refer to,
-	// before the log append below can grow it.
+	// Reify staged rows and fold the backlog under the universe their
+	// coordinates refer to, before the log append below can grow it.
+	if err := v.flushLogLocked(); err != nil {
+		return err
+	}
 	if err := v.materializeLocked(); err != nil {
 		return err
 	}
 	// Grow the log next: AppendRows validates the key discipline, and
 	// failing before the merge keeps log and adjacency consistent.
+	oldSrcSet, oldDstSet := v.eout.ColKeys(), v.ein.ColKeys()
 	eout, err := v.eout.AppendRows(dout, true)
 	if err != nil {
 		return err
@@ -568,6 +781,14 @@ func (v *View[V]) appendArraysLocked(dout, din, partial *assoc.Array[V]) error {
 		return err
 	}
 	v.eout, v.ein = eout, ein
+	// Resynchronize the interners only when the universe actually grew
+	// (AppendRows returns the SAME column Set pointers otherwise, and a
+	// same-pointer Set means every cached id→position entry is still
+	// exact) — the steady-state array route stays O(batch), not
+	// O(universe).
+	if eout.ColKeys() != oldSrcSet || ein.ColKeys() != oldDstSet {
+		v.rebindLocked()
+	}
 	uRows, uCols := eout.ColKeys(), ein.ColKeys()
 	pe, err := partial.EmbedInto(uRows, uCols)
 	if err != nil {
@@ -590,6 +811,7 @@ func (v *View[V]) appendArraysLocked(dout, din, partial *assoc.Array[V]) error {
 	}
 	v.main = main
 	v.edges += dout.RowKeys().Len()
+	v.lastKey = dout.RowKeys().Key(dout.RowKeys().Len() - 1)
 	v.appends++
 	v.epoch++
 	if v.opt.CompactEvery > 0 && v.appends >= v.opt.CompactEvery {
@@ -624,24 +846,87 @@ func (v *View[V]) embedMainLocked(uRows, uCols *keys.Set) error {
 	return nil
 }
 
+// minParallelFold is the backlog size below which the materialize fold
+// always runs serially: span scheduling costs a few microseconds, which
+// a small sort+fold undercuts on one core.
+const minParallelFold = 4096
+
 // materializeLocked folds the pending backlog into the main adjacency:
-// one integer sort groups the contributions by cell while preserving
-// arrival order within each cell, a single pass ⊕-folds each cell's run
-// (pruning folds equal to the algebra's zero, the kernels' contract),
-// and the resulting delta array ⊕-merges into main with main's entries
-// on the left. Level order is edge-key order, so only the fold's
-// GROUPING changes, never its order — and the grouping changes only at
-// this main-vs-backlog boundary, which is where a non-associative ⊕ can
-// diverge (flagged via Exact unless the guard is on).
+// the contributions are grouped by cell while preserving arrival order
+// within each cell, each cell's run is ⊕-folded (pruning folds equal to
+// the algebra's zero, the kernels' contract), and the resulting delta
+// array ⊕-merges into main with main's entries on the left. Level order
+// is edge-key order, so only the fold's GROUPING changes, never its
+// order — and the grouping changes only at this main-vs-backlog
+// boundary, which is where a non-associative ⊕ can diverge (flagged via
+// Exact unless the guard is on).
+//
+// With Options.Mul requesting parallelism and a backlog worth
+// splitting, the fold runs across row spans balanced by pending-entry
+// count (foldPendingParallel) and the subsequent ⊕-merge into main runs
+// across merge-cost-balanced spans (the engine routes it through
+// sparse.EWiseAddIntoParallel) — both bit-identical to the serial path.
 func (v *View[V]) materializeLocked() error {
 	n := len(v.pendVal)
 	if n == 0 {
 		return nil
 	}
 	s := &v.scr
-	ops := v.eng.Ops
 	uRows, uCols := v.eout.ColKeys(), v.ein.ColKeys()
 	R, C := uRows.Len(), uCols.Len()
+	w := 1
+	if mw := v.opt.Mul.Workers; (mw > 1 || mw < 0) && n >= minParallelFold {
+		w = parallel.Workers(mw, R)
+	}
+	if w > 1 {
+		v.foldPendingParallel(R, C, w)
+	} else {
+		v.foldPendingSerial(R, C)
+	}
+	v.pendCell = v.pendCell[:0]
+	v.pendVal = v.pendVal[:0]
+	if len(s.foldCol) == 0 {
+		// Every fold pruned to the algebra's zero — nothing to merge.
+		return nil
+	}
+	// The fold array only feeds the merge below — EWiseAddInto never
+	// returns or retains its src backing — so handing it the scratch
+	// slices directly is safe; the next materialize reuses them.
+	fm, err := sparse.NewCSR(R, C, s.foldPtr[:R+1], s.foldCol, s.foldVal)
+	if err != nil {
+		return err
+	}
+	fold, err := assoc.New(uRows, uCols, fm)
+	if err != nil {
+		return err
+	}
+	if err := v.embedMainLocked(uRows, uCols); err != nil {
+		return err
+	}
+	if v.main.NNZ() > 0 && !v.opt.CheckAssociative {
+		// The merge below groups the backlog's folded contributions
+		// against already-folded state under unverified ⊕.
+		v.exact = false
+	}
+	main, err := v.eng.MergeScratch(v.main, fold, !v.mainShared, &v.mainScr)
+	if err != nil {
+		return err
+	}
+	if main != v.main {
+		v.mainShared = false
+	}
+	v.main = main
+	return nil
+}
+
+// foldPendingSerial is the single-threaded backlog fold: one integer
+// sort groups the contributions by cell while preserving arrival order
+// within each cell (the (cell, seq) packed encoding, or a stable
+// argsort when the coordinate space is too large to pack), then a
+// single pass ⊕-folds each cell's run into the fold CSR scratch.
+func (v *View[V]) foldPendingSerial(R, C int) {
+	s := &v.scr
+	n := len(v.pendVal)
 	maxCell := int64(R)*int64(C) - 1
 	// Strict: cell*n + i with i < n must not wrap for cell = maxCell.
 	packed := maxCell < math.MaxInt64/int64(n)
@@ -650,15 +935,11 @@ func (v *View[V]) materializeLocked() error {
 		s.enc = make([]int64, 0, 2*n)
 	}
 	if packed {
-		// (cell, seq) packed into one int64: sorting groups cells and
-		// keeps arrival order within each cell.
 		for i, cell := range v.pendCell {
 			s.enc = append(s.enc, cell*int64(n)+int64(i))
 		}
 		slices.Sort(s.enc)
 	} else {
-		// Coordinate space too large to pack: stable argsort by cell
-		// preserves arrival order without encoding.
 		for i := range v.pendCell {
 			s.enc = append(s.enc, int64(i))
 		}
@@ -679,6 +960,7 @@ func (v *View[V]) materializeLocked() error {
 	foldPtr := s.foldPtr[:R+1]
 	foldCol := s.foldCol[:0]
 	foldVal := s.foldVal[:0]
+	ops := v.eng.Ops
 	fillRow := 0
 	emit := func(cell int64, acc V) {
 		if ops.IsZero(acc) {
@@ -724,40 +1006,173 @@ func (v *View[V]) materializeLocked() error {
 		fillRow++
 	}
 	s.foldCol, s.foldVal = foldCol, foldVal
-	v.pendCell = v.pendCell[:0]
-	v.pendVal = v.pendVal[:0]
-	if len(foldCol) == 0 {
-		// Every fold pruned to the algebra's zero — nothing to merge.
-		return nil
+}
+
+// foldPendingParallel is the span-parallel backlog fold: rows are
+// partitioned into spans balanced by pending-entry count (the fold's
+// work unit), entries are scattered to their owning span in arrival
+// order, each span independently sorts and ⊕-folds its rows into a
+// staging area, and the per-span results are stitched into the fold CSR
+// with one parallel copy. Per-row output is bit-identical to the serial
+// fold: cells sort ascending within each span, spans cover ascending
+// disjoint row ranges, and arrival order within a cell is preserved by
+// the same (cell, seq) encoding.
+func (v *View[V]) foldPendingParallel(R, C, w int) {
+	s := &v.scr
+	n := len(v.pendVal)
+	ops := v.eng.Ops
+
+	// Per-row pending counts → weight prefix → balanced spans.
+	if cap(s.wprefix) < R+1 {
+		s.wprefix = make([]int64, R+1)
 	}
-	// The fold array only feeds the merge below — EWiseAddInto never
-	// returns or retains its src backing — so handing it the scratch
-	// slices directly is safe; the next materialize reuses them.
-	fm, err := sparse.NewCSR(R, C, foldPtr, foldCol, foldVal)
-	if err != nil {
-		return err
+	wprefix := s.wprefix[:R+1]
+	for i := range wprefix {
+		wprefix[i] = 0
 	}
-	fold, err := assoc.New(uRows, uCols, fm)
-	if err != nil {
-		return err
+	for _, cell := range v.pendCell {
+		wprefix[cell/int64(C)+1]++
 	}
-	if err := v.embedMainLocked(uRows, uCols); err != nil {
-		return err
+	for i := 0; i < R; i++ {
+		wprefix[i+1] += wprefix[i]
 	}
-	if v.main.NNZ() > 0 && !v.opt.CheckAssociative {
-		// The merge below groups the backlog's folded contributions
-		// against already-folded state under unverified ⊕.
-		v.exact = false
+	bounds := parallel.BalancedSpans(wprefix, w)
+
+	// Scatter entries to spans, preserving arrival order within a span.
+	maxCell := int64(R)*int64(C) - 1
+	packed := maxCell < math.MaxInt64/int64(n)
+	if cap(s.enc) < n {
+		s.enc = make([]int64, 0, 2*n)
 	}
-	main, err := v.eng.MergeScratch(v.main, fold, !v.mainShared, &v.mainScr)
-	if err != nil {
-		return err
+	enc := s.enc[:n]
+	if cap(s.spanOf) < w+1 {
+		s.spanOf = make([]int, w+1)
 	}
-	if main != v.main {
-		v.mainShared = false
+	offs := s.spanOf[:w+1]
+	for i := range offs {
+		offs[i] = 0
 	}
-	v.main = main
-	return nil
+	spanFor := func(r int) int {
+		// bounds is short (≤ workers); binary search it.
+		return sort.Search(len(bounds)-1, func(x int) bool { return bounds[x+1] > r })
+	}
+	for _, cell := range v.pendCell {
+		offs[spanFor(int(cell/int64(C)))+1]++
+	}
+	for x := 0; x < w; x++ {
+		offs[x+1] += offs[x]
+	}
+	spanStart := make([]int, w+1)
+	copy(spanStart, offs)
+	for i, cell := range v.pendCell {
+		x := spanFor(int(cell / int64(C)))
+		if packed {
+			enc[offs[x]] = cell*int64(n) + int64(i)
+		} else {
+			enc[offs[x]] = int64(i)
+		}
+		offs[x]++
+	}
+
+	// Per-span sort + fold into the staging buffers; folded entries for
+	// span x land at [spanStart[x], spanStart[x]+spanLen[x]) — the input
+	// range bounds the output (folding only shrinks).
+	if cap(s.foldPtr) < R+1 {
+		s.foldPtr = make([]int, R+1)
+	}
+	foldPtr := s.foldPtr[:R+1]
+	for i := range foldPtr {
+		foldPtr[i] = 0
+	}
+	if cap(s.tmpCol) < n {
+		s.tmpCol = make([]int, n)
+	}
+	if cap(s.tmpVal) < n {
+		s.tmpVal = make([]V, n)
+	}
+	tmpCol, tmpVal := s.tmpCol[:n], s.tmpVal[:n]
+	spanLen := make([]int, w)
+	parallel.ForSpans(bounds, func(x, rLo, rHi int) {
+		part := enc[spanStart[x]:spanStart[x+1]]
+		if packed {
+			slices.Sort(part)
+		} else {
+			slices.SortStableFunc(part, func(a, b int64) int {
+				ca, cb := v.pendCell[a], v.pendCell[b]
+				switch {
+				case ca < cb:
+					return -1
+				case ca > cb:
+					return 1
+				}
+				return 0
+			})
+		}
+		out := 0
+		base := spanStart[x]
+		emit := func(cell int64, acc V) {
+			if ops.IsZero(acc) {
+				return
+			}
+			r := int(cell / int64(C))
+			foldPtr[r+1]++
+			tmpCol[base+out] = int(cell % int64(C))
+			tmpVal[base+out] = acc
+			out++
+		}
+		var acc V
+		curCell := int64(-1)
+		for _, e := range part {
+			var cell int64
+			var i int
+			if packed {
+				cell = e / int64(n)
+				i = int(e % int64(n))
+			} else {
+				i = int(e)
+				cell = v.pendCell[i]
+			}
+			val := v.pendVal[i]
+			if cell != curCell {
+				if curCell >= 0 {
+					emit(curCell, acc)
+				}
+				curCell = cell
+				acc = val
+			} else {
+				acc = ops.Add(acc, val)
+			}
+		}
+		if curCell >= 0 {
+			emit(curCell, acc)
+		}
+		spanLen[x] = out
+	})
+
+	// Stitch: prefix the per-row counts into foldPtr, then copy each
+	// span's staged block to its final contiguous position (span rows
+	// are contiguous, so one copy per span suffices).
+	for i := 0; i < R; i++ {
+		foldPtr[i+1] += foldPtr[i]
+	}
+	total := foldPtr[R]
+	foldCol := s.foldCol[:0]
+	if cap(foldCol) < total {
+		foldCol = make([]int, 0, total+total/2)
+	}
+	foldCol = foldCol[:total]
+	foldVal := s.foldVal[:0]
+	if cap(foldVal) < total {
+		foldVal = make([]V, 0, total+total/2)
+	}
+	foldVal = foldVal[:total]
+	parallel.ForSpans(bounds, func(x, rLo, rHi int) {
+		dst := foldPtr[rLo]
+		copy(foldCol[dst:dst+spanLen[x]], tmpCol[spanStart[x]:spanStart[x]+spanLen[x]])
+		copy(foldVal[dst:dst+spanLen[x]], tmpVal[spanStart[x]:spanStart[x]+spanLen[x]])
+	})
+	s.enc = enc
+	s.foldCol, s.foldVal = foldCol, foldVal
 }
 
 // Snapshot returns an immutable read view of the current state: the
@@ -770,6 +1185,9 @@ func (v *View[V]) materializeLocked() error {
 func (v *View[V]) Snapshot() (Snapshot[V], error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if err := v.flushLogLocked(); err != nil {
+		return Snapshot[V]{}, err
+	}
 	if err := v.materializeLocked(); err != nil {
 		return Snapshot[V]{}, err
 	}
@@ -816,6 +1234,9 @@ func (v *View[V]) Compact() error {
 }
 
 func (v *View[V]) compactLocked() error {
+	if err := v.flushLogLocked(); err != nil {
+		return err
+	}
 	v.pendCell = v.pendCell[:0]
 	v.pendVal = v.pendVal[:0]
 	if v.edges == 0 {
