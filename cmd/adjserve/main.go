@@ -17,6 +17,7 @@
 // while ingesting:
 //
 //	GET /stats               ingest counters (JSON)
+//	GET /healthz             liveness + durability position (fsync epoch, WAL lag)
 //	GET /at?src=a&dst=b      one adjacency entry
 //	GET /row?src=a           one row of the adjacency array
 //	GET /triples?limit=n     adjacency triples, capped (default 10000)
@@ -30,6 +31,14 @@
 // from the current snapshot and cached per epoch, so a burst of queries
 // against an unchanged graph pays the id-space embedding once.
 //
+// With -data-dir the store is durable: on start the view is recovered
+// from the newest valid checkpoint plus a WAL replay (the recovered and
+// durable epochs are logged), every ingested batch is written ahead to
+// the log under the -fsync policy (batch, interval, or off), background
+// checkpoints run every -checkpoint-every batches, and shutdown —
+// stream end or SIGINT/SIGTERM — flushes partial batches and writes a
+// final covering checkpoint before the process exits.
+//
 // The process exits when the input stream ends (unless -serve keeps it
 // answering queries) and shuts down cleanly on SIGINT/SIGTERM.
 //
@@ -37,6 +46,7 @@
 //
 //	generate_edges | adjserve -semiring +.* -serve :8080
 //	adjserve -in edges.tsv -keyed -semiring max.plus -batch 256
+//	adjserve -in edges.tsv -data-dir /var/lib/adjserve -fsync batch
 package main
 
 import (
@@ -62,19 +72,24 @@ import (
 	"adjarray/internal/keys"
 	"adjarray/internal/stream"
 	"adjarray/internal/value"
+	"adjarray/internal/wal"
 )
 
 // config carries the parsed flags.
 type config struct {
-	semiring     string
-	in           string
-	keyed        bool
-	batch        int
-	compactEvery int
-	check        bool
-	serve        string
-	flushEvery   time.Duration
-	skip         bool
+	semiring      string
+	in            string
+	keyed         bool
+	batch         int
+	compactEvery  int
+	check         bool
+	serve         string
+	flushEvery    time.Duration
+	skip          bool
+	dataDir       string
+	fsync         string
+	fsyncInterval time.Duration
+	ckptEvery     int
 }
 
 func main() {
@@ -88,6 +103,10 @@ func main() {
 	flag.StringVar(&cfg.serve, "serve", "", "HTTP listen address for snapshot queries (e.g. :8080); empty = ingest only")
 	flag.DurationVar(&cfg.flushEvery, "flush-every", time.Second, "with -serve, flush partial batches at this interval so slow streams stay visible")
 	flag.BoolVar(&cfg.skip, "skip-condition-check", false, "accept pairs that fail the Theorem II.1 conditions")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durability directory: recover on start, WAL every batch, checkpoint on shutdown; empty = in-memory")
+	flag.StringVar(&cfg.fsync, "fsync", "batch", "WAL fsync policy: batch (sync every append), interval, or off")
+	flag.DurationVar(&cfg.fsyncInterval, "fsync-interval", 100*time.Millisecond, "sync cadence for -fsync interval")
+	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", 256, "background checkpoint after this many batches (0 = only at shutdown)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -102,7 +121,7 @@ func main() {
 // SIGINT/SIGTERM cancel the context for a clean exit instead of the
 // process parking on a bare select {} forever.
 func run(cfg config) error {
-	ing, err := core.NewIngest(core.IngestOptions{
+	opt := core.IngestOptions{
 		Semiring:  cfg.semiring,
 		BatchSize: cfg.batch,
 		Stream: stream.Options{
@@ -110,9 +129,27 @@ func run(cfg config) error {
 			CheckAssociative: cfg.check,
 		},
 		SkipConditionCheck: cfg.skip,
-	})
+	}
+	if cfg.dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		opt.DataDir = cfg.dataDir
+		opt.Durable = stream.DurableOptions[float64]{
+			WAL:             wal.Options{Policy: policy, Interval: cfg.fsyncInterval},
+			CheckpointEvery: cfg.ckptEvery,
+		}
+	}
+	ing, err := core.NewIngest(opt)
 	if err != nil {
 		return err
+	}
+	if d := ing.Durable(); d != nil {
+		rec, st := d.Recovery(), d.Durability()
+		fmt.Fprintf(os.Stderr,
+			"adjserve: recovered epoch %d (durable %d) from %s — checkpoint seq %d, %d batches replayed, %d torn bytes truncated, fsync=%s\n",
+			st.Epoch, st.DurableEpoch, cfg.dataDir, rec.CheckpointSeq, rec.Replayed, rec.TornBytes, st.Policy)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -123,6 +160,21 @@ func run(cfg config) error {
 	// straight to the View, which has its own locking.
 	var mu sync.Mutex
 	fatal := make(chan error, 2) // server or flusher failure
+
+	// Every exit path — stream end, SIGINT/SIGTERM, fatal server error —
+	// flushes buffered edges, writes a final covering checkpoint, and
+	// closes the log; a crash between here and exit is then recoverable
+	// from the checkpoint alone.
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		d := ing.Durable()
+		if err := ing.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "adjserve: durability shutdown:", err)
+		} else if d != nil {
+			fmt.Fprintf(os.Stderr, "adjserve: final checkpoint at epoch %d\n", d.Durability().CheckpointSeq)
+		}
+	}()
 
 	var srv *http.Server
 	if cfg.serve != "" {
@@ -369,6 +421,19 @@ func handler(ing *core.Ingest) http.Handler {
 	}
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ing.View().Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		resp := map[string]any{"ok": true, "durable": false}
+		if d := ing.Durable(); d != nil {
+			st := d.Durability()
+			resp["durable"] = true
+			resp["epoch"] = st.Epoch
+			resp["durable_epoch"] = st.DurableEpoch // last batch on stable storage (fsync or checkpoint)
+			resp["wal_lag"] = st.WALLag
+			resp["checkpoint_seq"] = st.CheckpointSeq
+			resp["fsync_policy"] = st.Policy
+		}
+		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/at", func(w http.ResponseWriter, r *http.Request) {
 		src, dst := r.URL.Query().Get("src"), r.URL.Query().Get("dst")

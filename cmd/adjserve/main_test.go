@@ -138,6 +138,75 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 }
 
+// A durable serving process across a restart: the first run ingests and
+// closes (final checkpoint), the second recovers, reports its position
+// on /healthz, and keeps ingesting with the auto-key sequence intact.
+func TestDurableRestartAndHealthz(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *core.Ingest {
+		t.Helper()
+		ing, err := core.NewIngest(core.IngestOptions{Semiring: "+.*", BatchSize: 4, DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ing
+	}
+
+	ing := open()
+	for _, e := range []stream.Edge[float64]{
+		{Src: "a", Dst: "b"}, {Src: "b", Dst: "c"}, {Src: "a", Dst: "c"},
+	} {
+		if err := ing.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ing = open()
+	defer ing.Close()
+	d := ing.Durable()
+	if d == nil {
+		t.Fatal("DataDir set but ingest is not durable")
+	}
+	if st := d.Durability(); st.Epoch != 1 || st.DurableEpoch != 1 {
+		t.Fatalf("recovered position = %+v, want epoch 1 durable 1", st)
+	}
+	if st := ing.View().Stats(); st.Edges != 3 {
+		t.Fatalf("recovered %d edges, want 3", st.Edges)
+	}
+	// Ingest continues on the recovered store: auto keys must extend the
+	// checkpointed sequence, not collide with it.
+	if err := ing.Add(stream.Edge[float64]{Src: "c", Dst: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := handler(ing)
+	code, body := get(t, h, "/healthz")
+	if code != 200 || body["ok"] != true || body["durable"] != true {
+		t.Fatalf("/healthz = %d %v", code, body)
+	}
+	if body["epoch"].(float64) != 2 || body["durable_epoch"].(float64) != 2 || body["wal_lag"].(float64) != 0 {
+		t.Fatalf("/healthz position = %v, want epoch 2, durable 2, lag 0", body)
+	}
+	if code, body := get(t, h, "/at?src=a&dst=b"); code != 200 || body["stored"] != true {
+		t.Fatalf("recovered /at = %d %v", code, body)
+	}
+}
+
+// In-memory ingests must report healthy-but-not-durable, not error.
+func TestHealthzInMemory(t *testing.T) {
+	ing := newTestIngest(t)
+	code, body := get(t, handler(ing), "/healthz")
+	if code != 200 || body["ok"] != true || body["durable"] != false {
+		t.Fatalf("/healthz = %d %v", code, body)
+	}
+}
+
 // Algorithm queries against live snapshots while ingest continues — the
 // -race target: readers hit /bfs, /pagerank, /stats and /triples
 // concurrently with mu-guarded Add/Flush on the shared accumulator.

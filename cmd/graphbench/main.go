@@ -11,8 +11,10 @@
 //	graphbench -gen rmat -scale 12 -ef 8 -backend parallel -workers 8
 //	graphbench -gen rmat -scale 14 -workersweep 1,2,4,8
 //	graphbench -gen stream -scale 12 -deltas 100
+//	graphbench -gen durable -scale 12 -deltas 100   # WAL fsync policies + recovery
 //	graphbench -gen algo             # algorithm kernels, assoc vs CSR
 //	graphbench -gen bench4 -json BENCH_4.json   # the committed scaling artifact
+//	graphbench -gen durable -json BENCH_5.json  # the committed durability artifact
 //	graphbench -cpuprofile cpu.out -memprofile mem.out ...
 //
 // Every row records wall time plus allocation cost (allocs and KiB per
@@ -32,6 +34,13 @@
 // The bench4 workload is the committed BENCH_4.json matrix: scales
 // 12/14/16 × workers 1/2/4/8 over the parallel construction backend and
 // both stream arms.
+//
+// The durable workload is the committed BENCH_5.json matrix: the stream
+// append workload through the write-ahead log under each fsync policy
+// ("durable_append_batch" syncs every append, "_interval" every 100ms,
+// "_off" never), the covering checkpoint write ("durable_checkpoint"),
+// and both recovery shapes ("durable_recover_replay" re-applies the
+// whole log, "durable_recover_checkpoint" loads the checkpoint).
 //
 // The algo workload times the graph algorithms (BFS, SSSP, PageRank)
 // on rmat-s12 and rmat-s14 adjacency arrays, one row per algorithm per
@@ -62,6 +71,7 @@ import (
 	"adjarray/internal/semiring"
 	"adjarray/internal/stream"
 	"adjarray/internal/value"
+	"adjarray/internal/wal"
 )
 
 // jsonRow is one configuration's result in the -json baseline file.
@@ -143,7 +153,7 @@ func parseWorkerSweep(s string) []int {
 }
 
 func main() {
-	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | stream | algo | bench4 | sweep")
+	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | stream | durable | algo | bench4 | sweep")
 	deltas := flag.Int("deltas", 100, "stream workload: number of 1%% delta batches")
 	scale := flag.Int("scale", 10, "R-MAT scale (2^scale vertices)")
 	ef := flag.Int("ef", 8, "R-MAT edge factor")
@@ -414,6 +424,177 @@ func main() {
 		}
 	}
 
+	// runDurable measures the durability tax: the stream arm's
+	// delta-batch append workload run through a WAL-backed view under
+	// each fsync policy (per-batch fsync, interval, none), plus the
+	// checkpoint write and both recovery shapes — a cold replay of the
+	// whole log and a load of the covering checkpoint. Every arm gets a
+	// fresh store directory; recovered state is differentially checked
+	// against the in-memory view under -verify.
+	runDurable := func(name string, g *graph.Graph, deltas int) {
+		sg := rand.New(rand.NewSource(*seed + 1))
+		es := g.Edges()
+		per := len(es) / 100
+		if per == 0 {
+			per = 1
+		}
+		entry, _ := semiring.Lookup(*sr)
+		V := g.Vertices().Len()
+		pregen := func() [][]stream.Edge[float64] {
+			seq := 0
+			bs := make([][]stream.Edge[float64], deltas)
+			for d := range bs {
+				batch := make([]stream.Edge[float64], per)
+				for i := range batch {
+					e := es[sg.Intn(len(es))]
+					batch[i] = stream.Weighted(fmt.Sprintf("e%08d", seq), e.Src, e.Dst, 1.0, 1)
+					seq++
+				}
+				bs[d] = batch
+			}
+			return bs
+		}
+		openStore := func(p wal.SyncPolicy) (*stream.DurableView[float64], string) {
+			dir, err := os.MkdirTemp("", "graphbench-durable-*")
+			if err != nil {
+				fail(err)
+			}
+			d, err := stream.Open(dir, entry.Ops, stream.DurableOptions[float64]{
+				WAL: wal.Options{Policy: p},
+			})
+			if err != nil {
+				fail(err)
+			}
+			return d, dir
+		}
+		arms := []struct {
+			backend string
+			policy  wal.SyncPolicy
+		}{
+			{"durable_append_batch", wal.SyncEveryAppend},
+			{"durable_append_interval", wal.SyncInterval},
+			{"durable_append_off", wal.SyncNever},
+		}
+		// One store per policy survives the append arms: the off store
+		// keeps its bare log for the replay arm, the batch store gains a
+		// checkpoint for the checkpoint arms.
+		var replayDir, ckptDir string
+		var nnz, edges int
+		for _, arm := range arms {
+			var best measure
+			var keepDir string
+			for rep := 0; rep < *reps || rep == 0; rep++ {
+				d, dir := openStore(arm.policy)
+				batches := pregen()
+				total, err := timed(func() error {
+					for _, b := range batches {
+						if err := d.Append(b); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					fail(err)
+				}
+				snap, err := d.Snapshot()
+				if err != nil {
+					fail(err)
+				}
+				nnz, edges = snap.Adjacency.NNZ(), snap.Edges
+				if *verify {
+					want, err := assoc.Correlate(snap.Eout, snap.Ein, entry.Ops, assoc.MulOptions{})
+					if err != nil {
+						fail(err)
+					}
+					if diff := assoc.Diff(want, snap.Adjacency, value.Float64Equal, value.FormatFloat); diff != "" {
+						fmt.Fprintf(os.Stderr, "graphbench: VERIFY FAILED: durable view diverges from full rebuild on %s: %s\n", name, diff)
+						os.Exit(1)
+					}
+				}
+				if err := d.Close(); err != nil {
+					fail(err)
+				}
+				m := measure{
+					elapsed: total.elapsed / time.Duration(deltas),
+					allocs:  total.allocs / int64(deltas),
+					bytes:   total.bytes / int64(deltas),
+				}
+				if rep == 0 || m.elapsed < best.elapsed {
+					best = m
+				}
+				if keepDir != "" {
+					os.RemoveAll(keepDir)
+				}
+				keepDir = dir
+			}
+			emit(name, V, edges, arm.backend, 1, nnz, best)
+			switch arm.policy {
+			case wal.SyncNever:
+				replayDir = keepDir
+			case wal.SyncEveryAppend:
+				ckptDir = keepDir
+			default:
+				os.RemoveAll(keepDir)
+			}
+		}
+		defer os.RemoveAll(replayDir)
+		defer os.RemoveAll(ckptDir)
+
+		// Recovery arm 1: cold replay of the bare log (no checkpoint).
+		var best measure
+		for rep := 0; rep < *reps || rep == 0; rep++ {
+			m, err := timed(func() error {
+				d, err := stream.Open(replayDir, entry.Ops, stream.DurableOptions[float64]{})
+				if err != nil {
+					return err
+				}
+				return d.Close()
+			})
+			if err != nil {
+				fail(err)
+			}
+			if rep == 0 || m.elapsed < best.elapsed {
+				best = m
+			}
+		}
+		emit(name, V, edges, "durable_recover_replay", 1, nnz, best)
+
+		// Checkpoint arm: one covering checkpoint of the final state.
+		{
+			d, err := stream.Open(ckptDir, entry.Ops, stream.DurableOptions[float64]{})
+			if err != nil {
+				fail(err)
+			}
+			m, err := timed(d.Checkpoint)
+			if err != nil {
+				fail(err)
+			}
+			if err := d.Close(); err != nil {
+				fail(err)
+			}
+			emit(name, V, edges, "durable_checkpoint", 1, nnz, m)
+		}
+
+		// Recovery arm 2: load the covering checkpoint (no tail).
+		for rep := 0; rep < *reps || rep == 0; rep++ {
+			m, err := timed(func() error {
+				d, err := stream.Open(ckptDir, entry.Ops, stream.DurableOptions[float64]{})
+				if err != nil {
+					return err
+				}
+				return d.Close()
+			})
+			if err != nil {
+				fail(err)
+			}
+			if rep == 0 || m.elapsed < best.elapsed {
+				best = m
+			}
+		}
+		emit(name, V, edges, "durable_recover_checkpoint", 1, nnz, best)
+	}
+
 	// runAlgo measures the algorithm arms: the assoc.Mul reference loop
 	// against the CSR-native kernels on one adjacency array, with the
 	// results differentially checked before timings count.
@@ -507,6 +688,8 @@ func main() {
 		for i, w := range sweep {
 			runStream(fmt.Sprintf("rmat-s%d", *scale), dataset.RMAT(rand.New(rand.NewSource(*seed)), *scale, *ef), *deltas, w, i == 0)
 		}
+	case "durable":
+		runDurable(fmt.Sprintf("rmat-s%d", *scale), dataset.RMAT(rand.New(rand.NewSource(*seed)), *scale, *ef), *deltas)
 	case "algo":
 		for _, s := range []int{12, 14} {
 			runAlgo(fmt.Sprintf("rmat-s%d", s), dataset.RMAT(rand.New(rand.NewSource(*seed)), s, *ef))

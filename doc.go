@@ -38,7 +38,12 @@
 //     triple-store, sharded, and dense-verification backends;
 //   - incremental maintenance: AdjacencyView keeps A up to date under
 //     continuous edge ingest, and Ingest accumulates arriving triples
-//     into its delta batches.
+//     into its delta batches;
+//   - durability: internal/stream.Open recovers a maintained view from
+//     a write-ahead incidence log plus checkpoints (internal/wal), with
+//     torn-tail repair, typed corruption errors, and a kill-and-recover
+//     gate in cmd/crashtest holding recovery bit-identical to the dense
+//     oracle.
 //
 // # Batch and incremental construction
 //

@@ -2,12 +2,14 @@ package conformance
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"adjarray/internal/assoc"
 	"adjarray/internal/semiring"
 	"adjarray/internal/shard"
 	"adjarray/internal/stream"
+	"adjarray/internal/wal"
 )
 
 // Path is one registered way of computing A = Eoutᵀ ⊕.⊗ Ein. Register a
@@ -77,6 +79,18 @@ func builtinPaths() []Path {
 			ReAssociates: true,
 			Build:        buildStreamInternedParallel,
 		},
+		{
+			// The durability round trip as a construction path: every batch
+			// goes through a WAL-backed view, the process "crashes" (Abort:
+			// no final checkpoint, no final sync), and the adjacency is
+			// materialized from the RECOVERED view — checkpoint load plus
+			// WAL-tail replay. Gates the whole persistence stack (batch
+			// codec, checkpoint codec, interner slabs, CSR encoding,
+			// recovery sequencing) against the dense Definition I.3 oracle.
+			Name:         "stream-durable-recovered",
+			ReAssociates: true,
+			Build:        buildStreamDurableRecovered,
+		},
 	}
 }
 
@@ -93,6 +107,61 @@ func buildStreamInternedParallel(_, _ *assoc.Array[float64], ops semiring.Ops[fl
 		Mul:           assoc.MulOptions{Workers: 2, FlopFloor: -1},
 		PendingBudget: 1,
 	})
+}
+
+// buildStreamDurableRecovered replays the instance through a durable
+// view in a throwaway directory, aborts without the final checkpoint or
+// sync, reopens, and materializes from the recovered state. One
+// checkpoint is taken after the first batch so recovery exercises the
+// checkpoint-plus-tail path, not just a cold replay.
+func buildStreamDurableRecovered(_, _ *assoc.Array[float64], ops semiring.Ops[float64], inst Instance) (*assoc.Array[float64], error) {
+	dir, err := os.MkdirTemp("", "adjarray-conformance-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	d, err := stream.Open(dir, ops, stream.DurableOptions[float64]{
+		// No fsync: the simulated failure is a process exit, not a power
+		// cut, so written-but-unsynced records must survive the reopen.
+		WAL: wal.Options{Policy: wal.SyncNever},
+	})
+	if err != nil {
+		return nil, err
+	}
+	prev, first := 0, true
+	cuts := append(append([]int{}, inst.Splits...), len(inst.Edges))
+	for _, cut := range cuts {
+		if cut <= prev {
+			continue
+		}
+		batch := make([]stream.Edge[float64], cut-prev)
+		for i, e := range inst.Edges[prev:cut] {
+			batch[i] = stream.Weighted(e.Key, e.Src, e.Dst, e.Out, e.In)
+		}
+		if err := d.Append(batch); err != nil {
+			d.Abort()
+			return nil, err
+		}
+		if first {
+			if err := d.Checkpoint(); err != nil {
+				d.Abort()
+				return nil, err
+			}
+			first = false
+		}
+		prev = cut
+	}
+	d.Abort()
+	re, err := stream.Open(dir, ops, stream.DurableOptions[float64]{})
+	if err != nil {
+		return nil, err
+	}
+	defer re.Close()
+	snap, err := re.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return snap.Adjacency, nil
 }
 
 func replayStream(ops semiring.Ops[float64], inst Instance, opt stream.Options) (*assoc.Array[float64], error) {

@@ -16,11 +16,12 @@ import (
 // II.1 condition analysis as Build, up front, so a pair that cannot
 // guarantee an adjacency array is refused before any edge is accepted.
 type Ingest struct {
-	view  *stream.View[float64]
-	batch []stream.Edge[float64]
-	size  int
-	ops   semiring.Ops[float64]
-	rep   semiring.Report
+	view    *stream.View[float64]
+	durable *stream.DurableView[float64] // nil for in-memory ingests
+	batch   []stream.Edge[float64]
+	size    int
+	ops     semiring.Ops[float64]
+	rep     semiring.Report
 }
 
 // IngestOptions configures an Ingest accumulator.
@@ -38,6 +39,15 @@ type IngestOptions struct {
 	// SkipConditionCheck accepts operator pairs that fail the Theorem
 	// II.1 conditions (the Report is still available via Report()).
 	SkipConditionCheck bool
+	// DataDir, when set, makes the ingest durable: the view is recovered
+	// from DataDir on open, every flushed batch is written ahead to the
+	// WAL there before it is acknowledged, and Close takes a covering
+	// checkpoint.
+	DataDir string
+	// Durable tunes the durability layer when DataDir is set (fsync
+	// policy, checkpoint cadence, codec). Its View field is ignored —
+	// Stream above configures the view either way.
+	Durable stream.DurableOptions[float64]
 }
 
 // NewIngest resolves the operator pair, runs the condition analysis, and
@@ -55,13 +65,25 @@ func NewIngest(opt IngestOptions) (*Ingest, error) {
 	if size <= 0 {
 		size = 512
 	}
-	return &Ingest{
-		view:  stream.NewView(entry.Ops, opt.Stream),
+	in := &Ingest{
 		batch: make([]stream.Edge[float64], 0, size),
 		size:  size,
 		ops:   entry.Ops,
 		rep:   report,
-	}, nil
+	}
+	if opt.DataDir != "" {
+		dopt := opt.Durable
+		dopt.View = opt.Stream
+		d, err := stream.Open(opt.DataDir, entry.Ops, dopt)
+		if err != nil {
+			return nil, err
+		}
+		in.durable = d
+		in.view = d.View()
+	} else {
+		in.view = stream.NewView(entry.Ops, opt.Stream)
+	}
+	return in, nil
 }
 
 // Add buffers one edge; a full buffer flushes into the view. Edge keys
@@ -85,7 +107,12 @@ func (in *Ingest) Flush() error {
 	if len(in.batch) == 0 {
 		return nil
 	}
-	err := in.view.Append(in.batch)
+	var err error
+	if in.durable != nil {
+		err = in.durable.Append(in.batch)
+	} else {
+		err = in.view.Append(in.batch)
+	}
 	in.batch = in.batch[:0]
 	return err
 }
@@ -103,6 +130,27 @@ func (in *Ingest) Snapshot() (stream.Snapshot[float64], error) {
 // Append of pre-batched edges). Edges still buffered in the accumulator
 // are not yet in the view; call Flush first when that matters.
 func (in *Ingest) View() *stream.View[float64] { return in.view }
+
+// Durable exposes the durability layer, nil for in-memory ingests.
+func (in *Ingest) Durable() *stream.DurableView[float64] { return in.durable }
+
+// Close flushes buffered edges, takes a final covering checkpoint, and
+// releases the log. In-memory ingests are a no-op. The first error is
+// reported, but the log is closed regardless — a failed checkpoint
+// leaves recovery to the previous checkpoint plus the (complete) WAL.
+func (in *Ingest) Close() error {
+	if in.durable == nil {
+		return nil
+	}
+	err := in.Flush()
+	if cerr := in.durable.Checkpoint(); err == nil {
+		err = cerr
+	}
+	if cerr := in.durable.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // Buffered reports how many Add-ed edges await the next flush.
 func (in *Ingest) Buffered() int { return len(in.batch) }

@@ -1,0 +1,79 @@
+package keys
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Interner slab serialization. The wire layout is the slab itself plus
+// the offset array — the two arrays that define the id space:
+//
+//	uint32 LE  key count n
+//	uint32 LE  slab length (== off[n])
+//	[n]uint32  off[1..n] (off[0] is always 0 and is not stored)
+//	[...]byte  slab bytes
+//
+// The hash table and seed are NOT serialized: maphash seeds are
+// process-local by design, so loading rebuilds the table by re-hashing
+// each key under a fresh seed. Ids are preserved because they are
+// defined by slab order, not by the table.
+
+// AppendBinary appends the interner's serialized form to dst.
+func (in *Interner) AppendBinary(dst []byte) []byte {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	n := len(in.off) - 1
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(in.slab)))
+	for _, o := range in.off[1:] {
+		dst = binary.LittleEndian.AppendUint32(dst, o)
+	}
+	return append(dst, in.slab...)
+}
+
+// InternerFromBinary decodes an interner serialized by AppendBinary
+// from the front of buf, returning the remaining bytes. The offset
+// array is validated (monotone, ending exactly at the slab length) and
+// the hash table is rebuilt under a fresh seed; a duplicate key in the
+// slab — impossible in a well-formed dump — is reported as corruption.
+func InternerFromBinary(buf []byte) (*Interner, []byte, error) {
+	if len(buf) < 8 {
+		return nil, nil, fmt.Errorf("keys: interner header truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	slabLen := int(binary.LittleEndian.Uint32(buf[4:]))
+	buf = buf[8:]
+	if n > math.MaxInt32 || int64(len(buf)) < int64(n)*4+int64(slabLen) {
+		return nil, nil, fmt.Errorf("keys: interner body truncated (n=%d slab=%d have=%d)", n, slabLen, len(buf))
+	}
+	off := make([]uint32, n+1)
+	for i := 1; i <= n; i++ {
+		off[i] = binary.LittleEndian.Uint32(buf[(i-1)*4:])
+		if off[i] < off[i-1] {
+			return nil, nil, fmt.Errorf("keys: interner offsets not monotone at key %d", i)
+		}
+	}
+	if int(off[n]) != slabLen {
+		return nil, nil, fmt.Errorf("keys: interner offsets end at %d, slab is %d bytes", off[n], slabLen)
+	}
+	buf = buf[n*4:]
+	in := NewInterner()
+	in.slab = append(in.slab, buf[:slabLen]...)
+	in.off = off
+	size := internerMinTable
+	for n*3 > size*2 {
+		size *= 2
+	}
+	in.tab = newInternTable(size)
+	in.mask = uint32(size - 1)
+	for id := int32(0); id < int32(n); id++ {
+		k := in.keyAt(id)
+		_, slot, ok := in.lookupLocked(k)
+		if ok {
+			return nil, nil, fmt.Errorf("keys: interner slab holds duplicate key %q", k)
+		}
+		in.tab[slot] = id
+	}
+	return in, buf[slabLen:], nil
+}

@@ -1,0 +1,405 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"adjarray/internal/semiring"
+	"adjarray/internal/wal"
+)
+
+// DurableOptions tunes a durable view opened with Open.
+type DurableOptions[V any] struct {
+	// View tunes the in-memory view exactly as Options does for NewView.
+	View Options
+	// WAL selects the fsync policy and segment sizing (wal.Options
+	// defaults apply).
+	WAL wal.Options
+	// Codec serializes V for the log and checkpoints. Zero selects the
+	// built-in codec when V is float64; other value types must supply
+	// one.
+	Codec ValueCodec[V]
+	// CheckpointEvery triggers a background checkpoint once this many
+	// batches accumulate past the last checkpoint (0 disables the
+	// batch-count trigger).
+	CheckpointEvery int
+	// CheckpointInterval triggers a background checkpoint on a timer
+	// when batches arrived since the last one (0 disables the timer).
+	CheckpointInterval time.Duration
+	// KeepCheckpoints is how many checkpoint files to retain (the
+	// newest is the recovery source, older ones are corruption
+	// fallbacks). <= 0 selects 2.
+	KeepCheckpoints int
+}
+
+// RecoveryInfo describes what Open found on disk.
+type RecoveryInfo struct {
+	// CheckpointSeq is the WAL seq the loaded checkpoint covered (0:
+	// started from the empty state).
+	CheckpointSeq uint64
+	// SkippedCheckpoints counts newer checkpoint files that failed
+	// validation and were passed over for an older valid one.
+	SkippedCheckpoints int
+	// Replayed is how many WAL records were re-applied on top of the
+	// checkpoint.
+	Replayed int
+	// TornBytes is how many trailing bytes were truncated from the log
+	// as an interrupted final write (0: the log ended cleanly).
+	TornBytes int64
+}
+
+// DurabilityStats reports a durable view's position for health
+// endpoints.
+type DurabilityStats struct {
+	// Epoch is the number of batches applied to the in-memory view.
+	Epoch uint64
+	// DurableEpoch is the highest batch acknowledged durable (on
+	// stable storage, by fsync or by a covering checkpoint).
+	DurableEpoch uint64
+	// WALLag = Epoch - DurableEpoch: batches that would be lost by a
+	// crash right now.
+	WALLag uint64
+	// CheckpointSeq is the newest on-disk checkpoint's covered seq.
+	CheckpointSeq uint64
+	// Policy is the fsync policy's string form (batch/interval/off).
+	Policy string
+	// Recovery is what the last Open found.
+	Recovery RecoveryInfo
+}
+
+// DurableView is a View whose appended batches survive process death:
+// every Append is applied to the in-memory view and then written to a
+// write-ahead log, and Open rebuilds the identical view from the last
+// checkpoint plus the log tail. One WAL record holds one batch, and
+// the record's sequence number equals the view's epoch after the
+// batch, so "epoch" is the durability unit throughout.
+//
+// The append path is view-first: a batch the view rejects (key
+// discipline, guard refusal, grow failure) never reaches the log, so
+// recovery replays only batches that were accepted. The window the
+// opposite order would open — a logged batch that fails on replay —
+// cannot happen; the crash window that remains (accepted in memory,
+// process dies before the log write) loses only a batch that was never
+// acknowledged, which is exactly the contract.
+//
+// Reads go through Snapshot as on a plain View. Ingest must go through
+// this type's Append — appending to the underlying View directly would
+// desynchronize epoch and log.
+type DurableView[V any] struct {
+	mu    sync.Mutex
+	v     *View[V]
+	w     *wal.Writer
+	dir   string
+	codec ValueCodec[V]
+	opt   DurableOptions[V]
+
+	ckptSeq uint64 // newest on-disk checkpoint's covered seq
+	buf     []byte // record encode scratch, reused under mu
+	failed  error  // sticky: a WAL write failed after the view applied
+	closed  bool
+
+	recovery RecoveryInfo
+
+	notify chan struct{} // batch-count checkpoint trigger
+	done   chan struct{}
+	bg     sync.WaitGroup
+}
+
+// Open recovers (or creates) a durable view in dir: it loads the
+// newest valid checkpoint, replays the WAL records past it through the
+// normal Append path, repairs a torn final record, and opens a fresh
+// log segment for new batches. Mid-log corruption and
+// every-checkpoint-invalid states fail with an error matching
+// wal.ErrCorrupt — never a silently diverged view.
+func Open[V any](dir string, ops semiring.Ops[V], opt DurableOptions[V]) (*DurableView[V], error) {
+	codec := opt.Codec
+	if codec.Append == nil || codec.Decode == nil {
+		var ok bool
+		if codec, ok = defaultCodec[V](); !ok {
+			return nil, fmt.Errorf("stream: no value codec for this value type; set DurableOptions.Codec")
+		}
+	}
+	if opt.KeepCheckpoints <= 0 {
+		opt.KeepCheckpoints = 2
+	}
+
+	var rec RecoveryInfo
+	payload, ckptSeq, skipped, err := wal.LoadCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec.CheckpointSeq = ckptSeq
+	rec.SkippedCheckpoints = len(skipped)
+	var v *View[V]
+	if payload != nil {
+		v, err = decodeView(payload, ops, opt.View, codec)
+		if err != nil {
+			return nil, fmt.Errorf("stream: checkpoint seq %d: %w", ckptSeq, err)
+		}
+		if uint64(v.epoch) != ckptSeq {
+			return nil, fmt.Errorf("stream: checkpoint seq %d holds view epoch %d", ckptSeq, v.epoch)
+		}
+	} else {
+		v = NewView(ops, opt.View)
+	}
+
+	expect := ckptSeq
+	st, err := wal.Replay(dir, ckptSeq, func(seq uint64, payload []byte) error {
+		if seq != expect+1 {
+			return fmt.Errorf("stream: replay reached seq %d at view epoch %d", seq, expect)
+		}
+		edges, err := decodeBatch(payload, codec)
+		if err != nil {
+			return fmt.Errorf("stream: wal record seq %d: %w", seq, err)
+		}
+		if err := v.Append(edges); err != nil {
+			return fmt.Errorf("stream: replaying wal record seq %d: %w", seq, err)
+		}
+		expect = seq
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.Replayed = st.Records
+	rec.TornBytes = st.TornBytes
+
+	nextSeq := st.LastSeq + 1
+	if ckptSeq+1 > nextSeq {
+		nextSeq = ckptSeq + 1
+	}
+	w, err := wal.NewWriter(dir, nextSeq, opt.WAL)
+	if err != nil {
+		return nil, err
+	}
+	d := &DurableView[V]{
+		v: v, w: w, dir: dir, codec: codec, opt: opt,
+		ckptSeq: ckptSeq, recovery: rec,
+		notify: make(chan struct{}, 1), done: make(chan struct{}),
+	}
+	if opt.CheckpointEvery > 0 || opt.CheckpointInterval > 0 {
+		d.bg.Add(1)
+		go d.checkpointLoop()
+	}
+	return d, nil
+}
+
+// checkpointLoop is the background checkpoint + retirement worker: it
+// wakes on the batch-count trigger and/or the timer and checkpoints
+// when the view advanced past the last checkpoint, bounding both
+// replay time and log size.
+func (d *DurableView[V]) checkpointLoop() {
+	defer d.bg.Done()
+	var tick <-chan time.Time
+	if d.opt.CheckpointInterval > 0 {
+		t := time.NewTicker(d.opt.CheckpointInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-d.notify:
+		case <-tick:
+		}
+		d.mu.Lock()
+		if !d.closed && d.failed == nil && d.epochLocked() > d.ckptSeq {
+			// Errors here surface on the next explicit Checkpoint/Close;
+			// the sticky failure marker keeps them from being lost.
+			if err := d.checkpointLocked(); err != nil {
+				d.failed = err
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+func (d *DurableView[V]) epochLocked() uint64 {
+	d.v.mu.Lock()
+	e := uint64(d.v.epoch)
+	d.v.mu.Unlock()
+	return e
+}
+
+// Append ingests one batch durably: the view applies it first (a
+// rejected batch touches nothing), then the batch is framed into the
+// WAL under the configured fsync policy. When the policy is
+// SyncEveryAppend the batch is durable when Append returns; otherwise
+// durability trails by at most the sync interval (see DurableEpoch).
+func (d *DurableView[V]) Append(edges []Edge[V]) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("stream: durable view is closed")
+	}
+	if d.failed != nil {
+		return fmt.Errorf("stream: durable view failed: %w", d.failed)
+	}
+	d.buf = appendBatch(d.buf[:0], edges, d.codec)
+	before := d.epochLocked()
+	if err := d.v.Append(edges); err != nil {
+		if d.epochLocked() == before {
+			// The batch was rolled back; the view is unchanged and the
+			// log must stay unchanged too.
+			return err
+		}
+		// The batch committed but post-commit maintenance failed. The
+		// epoch advanced, so the log record must still be written to
+		// keep seq == epoch; the maintenance error is reported after.
+		if _, werr := d.w.Append(d.buf); werr != nil {
+			d.failed = werr
+			return werr
+		}
+		return err
+	}
+	if _, err := d.w.Append(d.buf); err != nil {
+		// The view is now ahead of the log; acknowledging further
+		// batches would promise durability the log cannot deliver.
+		d.failed = err
+		return err
+	}
+	if d.opt.CheckpointEvery > 0 && d.epochLocked()-d.ckptSeq >= uint64(d.opt.CheckpointEvery) {
+		select {
+		case d.notify <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Sync forces the log to stable storage, advancing DurableEpoch to
+// Epoch regardless of policy.
+func (d *DurableView[V]) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("stream: durable view is closed")
+	}
+	return d.w.Sync()
+}
+
+// Checkpoint writes a full-state checkpoint covering everything
+// appended so far, then retires log segments and old checkpoints it
+// supersedes.
+func (d *DurableView[V]) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("stream: durable view is closed")
+	}
+	if d.failed != nil {
+		return fmt.Errorf("stream: durable view failed: %w", d.failed)
+	}
+	return d.checkpointLocked()
+}
+
+func (d *DurableView[V]) checkpointLocked() error {
+	v := d.v
+	v.mu.Lock()
+	err := v.flushLogLocked()
+	if err == nil {
+		err = v.materializeLocked()
+	}
+	if err == nil {
+		err = v.embedMainLocked(v.eout.ColKeys(), v.ein.ColKeys())
+	}
+	if err != nil {
+		v.mu.Unlock()
+		return err
+	}
+	seq := uint64(v.epoch)
+	payload := v.encodeViewLocked(nil, d.codec)
+	v.mu.Unlock()
+	if seq == d.ckptSeq {
+		return nil
+	}
+	if _, err := wal.WriteCheckpoint(d.dir, seq, payload); err != nil {
+		return err
+	}
+	d.ckptSeq = seq
+	if _, err := wal.RetireCheckpoints(d.dir, d.opt.KeepCheckpoints); err != nil {
+		return err
+	}
+	_, err = wal.RetireSegments(d.dir, seq)
+	return err
+}
+
+// Snapshot returns an immutable read view, exactly as View.Snapshot.
+func (d *DurableView[V]) Snapshot() (Snapshot[V], error) { return d.v.Snapshot() }
+
+// View exposes the maintained in-memory view for reads (Snapshot,
+// Stats, Compact, SubRef queries). Appending to it directly BYPASSES
+// the log — such batches exist only until the process exits. Always
+// append through the DurableView.
+func (d *DurableView[V]) View() *View[V] { return d.v }
+
+// Stats returns the in-memory view's counters.
+func (d *DurableView[V]) Stats() Stats { return d.v.Stats() }
+
+// Recovery reports what Open found on disk.
+func (d *DurableView[V]) Recovery() RecoveryInfo { return d.recovery }
+
+// Durability reports the view's durability position.
+func (d *DurableView[V]) Durability() DurabilityStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	epoch := d.epochLocked()
+	durable := d.ckptSeq
+	if !d.closed {
+		if ws := d.w.DurableSeq(); ws > durable {
+			durable = ws
+		}
+	}
+	lag := uint64(0)
+	if epoch > durable {
+		lag = epoch - durable
+	}
+	return DurabilityStats{
+		Epoch:         epoch,
+		DurableEpoch:  durable,
+		WALLag:        lag,
+		CheckpointSeq: d.ckptSeq,
+		Policy:        d.opt.WAL.Policy.String(),
+		Recovery:      d.recovery,
+	}
+}
+
+// Close syncs the log and releases the view. It does NOT write a final
+// checkpoint — callers wanting one (graceful shutdown) call Checkpoint
+// first; recovery replays the log tail either way.
+func (d *DurableView[V]) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	close(d.done)
+	err := d.w.Close()
+	if d.failed != nil && err == nil {
+		err = d.failed
+	}
+	d.mu.Unlock()
+	d.bg.Wait()
+	return err
+}
+
+// Abort releases the view without the graceful-shutdown steps — no
+// final checkpoint, no durability promise beyond what the fsync policy
+// already delivered. Tests use it to simulate an unclean exit before
+// reopening the directory.
+func (d *DurableView[V]) Abort() {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		close(d.done)
+		d.w.Close()
+	}
+	d.mu.Unlock()
+	d.bg.Wait()
+}

@@ -183,6 +183,75 @@ type View[V any] struct {
 	autoBase string // prefix for auto keys; seeded past the log's last key
 
 	scr batchScratch[V] // per-append buffers, reused under mu
+
+	// failpoint, when set (tests only), is consulted at named sites
+	// inside the append paths; a non-nil return aborts the append there.
+	// It exists to prove the rollback below restores the view exactly.
+	failpoint func(site string) error
+}
+
+// fail triggers the test failpoint at a named site.
+func (v *View[V]) fail(site string) error {
+	if v.failpoint != nil {
+		return v.failpoint(site)
+	}
+	return nil
+}
+
+// committedError marks an error raised AFTER a batch was fully
+// committed (counters bumped, rows in the log) by follow-on
+// maintenance — the backlog fold or an auto-compact. Rolling the batch
+// back there would be wrong (the maintenance may have merged in place),
+// so the append paths let it through without restoring.
+type committedError struct{ err error }
+
+func (e *committedError) Error() string { return e.err.Error() }
+func (e *committedError) Unwrap() error { return e.err }
+
+// appendRollback is the state an in-flight append may change, captured
+// as slice headers and counters. Arrays are copy-on-write throughout
+// the append paths (the backlog rebase included), so restoring the
+// headers restores the view bit for bit: bytes past a restored length
+// are garbage a future append overwrites before reading.
+type appendRollback[V any] struct {
+	eout, ein, main *assoc.Array[V]
+	srcPos, dstPos  []int32
+	pendCell        []int64
+	pendVal         []V
+	nStage          int
+	mainShared      bool
+	edges           int
+	appends         int
+	epoch           int
+	exact           bool
+	lastKey         string
+}
+
+func (v *View[V]) captureLocked() appendRollback[V] {
+	return appendRollback[V]{
+		eout: v.eout, ein: v.ein, main: v.main,
+		srcPos: v.srcPos, dstPos: v.dstPos,
+		pendCell: v.pendCell, pendVal: v.pendVal,
+		nStage:     len(v.stageKeys),
+		mainShared: v.mainShared,
+		edges:      v.edges, appends: v.appends, epoch: v.epoch,
+		exact: v.exact, lastKey: v.lastKey,
+	}
+}
+
+func (v *View[V]) restoreLocked(rb appendRollback[V]) {
+	v.eout, v.ein, v.main = rb.eout, rb.ein, rb.main
+	v.srcPos, v.dstPos = rb.srcPos, rb.dstPos
+	v.pendCell, v.pendVal = rb.pendCell, rb.pendVal
+	v.stageKeys = v.stageKeys[:rb.nStage]
+	v.stageOut, v.stageIn = v.stageOut[:rb.nStage], v.stageIn[:rb.nStage]
+	v.stageOutV, v.stageInV = v.stageOutV[:rb.nStage], v.stageInV[:rb.nStage]
+	v.mainShared = rb.mainShared
+	v.edges, v.appends, v.epoch = rb.edges, rb.appends, rb.epoch
+	v.exact, v.lastKey = rb.exact, rb.lastKey
+	// Interner ids assigned for the failed batch stay behind as
+	// orphans (id → position -1); growSideLocked is built to absorb
+	// them on the next universe growth.
 }
 
 // batchScratch holds the fast path's per-append buffers. Append runs
@@ -388,9 +457,35 @@ func (v *View[V]) appendResolvedLocked() error {
 	}
 	C := int64(v.ein.ColKeys().Len())
 	if resolved && (C == 0 || int64(v.eout.ColKeys().Len()) <= math.MaxInt64/C) {
-		return v.appendFastLocked()
+		rb := v.captureLocked()
+		if err := v.appendFastLocked(); err != nil {
+			return v.rollbackLocked(rb, err)
+		}
+		return nil
 	}
-	return v.appendSlowLocked()
+	// Reify the staged run before capturing: the flush commits PRIOR
+	// batches (already accepted), not this one, so it must survive a
+	// rollback of this batch.
+	if err := v.flushLogLocked(); err != nil {
+		return err
+	}
+	rb := v.captureLocked()
+	if err := v.appendSlowLocked(); err != nil {
+		return v.rollbackLocked(rb, err)
+	}
+	return nil
+}
+
+// rollbackLocked restores the captured state for a batch that failed
+// before its commit point — unless err is a committedError, in which
+// case the batch stays applied and only the maintenance error
+// propagates.
+func (v *View[V]) rollbackLocked(rb appendRollback[V], err error) error {
+	if ce, ok := err.(*committedError); ok {
+		return ce.err
+	}
+	v.restoreLocked(rb)
+	return err
 }
 
 // appendSlowLocked handles a staged batch that introduces vertices
@@ -410,19 +505,23 @@ func (v *View[V]) appendSlowLocked() error {
 			return err
 		}
 	}
-	// Reify the staged run first: its column positions refer to the
-	// universe this batch is about to grow.
-	if err := v.flushLogLocked(); err != nil {
-		return err
-	}
+	// The staged run was reified by the caller (appendResolvedLocked)
+	// before the rollback capture: positions staged earlier refer to
+	// the universe this batch is about to grow.
 	v.srcIn.InternBatch(s.srcs, s.srcIDs)
 	v.dstIn.InternBatch(s.dsts, s.dstIDs)
 	srcPos, err := v.growSideLocked(v.srcIn, v.srcPos, s.srcIDs, true)
 	if err != nil {
 		return err
 	}
+	if err := v.fail("slow:grew-src"); err != nil {
+		return err
+	}
 	dstPos, err := v.growSideLocked(v.dstIn, v.dstPos, s.dstIDs, false)
 	if err != nil {
+		return err
+	}
+	if err := v.fail("slow:grew-dst"); err != nil {
 		return err
 	}
 	newC := int64(v.ein.ColKeys().Len())
@@ -448,6 +547,9 @@ func (v *View[V]) appendSlowLocked() error {
 		return err
 	}
 	v.eout, v.ein = eout, ein
+	if err := v.fail("slow:appended-rows"); err != nil {
+		return err
+	}
 	return v.commitBatchLocked(newC)
 }
 
@@ -538,26 +640,32 @@ func (v *View[V]) growSideLocked(in *keys.Interner, pos []int32, batchIDs []int3
 	// the row coordinate, the destination side the column; the column
 	// stride changes only when the dst side grows, and the caller grows
 	// dst AFTER src, so rebasing per side in call order stays exact.
+	// The rebase is copy-on-write — a later failure in this append must
+	// be able to restore the pre-batch backlog by slice header alone.
 	oldC := int64(v.ein.ColKeys().Len())
 	if len(v.pendCell) > 0 && oldPos != nil {
+		rebased := make([]int64, len(v.pendCell))
 		if isSrc {
 			for i, cell := range v.pendCell {
 				r, c := cell/oldC, cell%oldC
-				v.pendCell[i] = int64(oldPos[r])*oldC + c
+				rebased[i] = int64(oldPos[r])*oldC + c
 			}
 		} else {
 			newC := int64(grown.ColKeys().Len())
 			for i, cell := range v.pendCell {
 				r, c := cell/oldC, cell%oldC
-				v.pendCell[i] = r*newC + int64(oldPos[c])
+				rebased[i] = r*newC + int64(oldPos[c])
 			}
 		}
+		v.pendCell = rebased
 	} else if !isSrc && len(v.pendCell) > 0 && oldC != int64(grown.ColKeys().Len()) {
 		newC := int64(grown.ColKeys().Len())
+		rebased := make([]int64, len(v.pendCell))
 		for i, cell := range v.pendCell {
 			r, c := cell/oldC, cell%oldC
-			v.pendCell[i] = r*newC + c
+			rebased[i] = r*newC + c
 		}
+		v.pendCell = rebased
 	}
 	grown.ColKeys().Bind(&keys.InternIndex{In: in, Pos: newPos})
 	if isSrc {
@@ -589,6 +697,9 @@ func (v *View[V]) appendFastLocked() error {
 	v.stageIn = append(v.stageIn, s.dstID...)
 	v.stageOutV = append(v.stageOutV, s.outs...)
 	v.stageInV = append(v.stageInV, s.ins...)
+	if err := v.fail("fast:staged"); err != nil {
+		return err
+	}
 	return v.commitBatchLocked(int64(v.ein.ColKeys().Len()))
 }
 
@@ -624,13 +735,18 @@ func (v *View[V]) commitBatchLocked(C int64) error {
 	v.lastKey = s.rowKeys[len(s.rowKeys)-1]
 	v.appends++
 	v.epoch++
+	if err := v.fail("commit:counted"); err != nil {
+		return err
+	}
 	if len(v.pendVal) >= v.pendingBudget() {
 		if err := v.materializeLocked(); err != nil {
-			return err
+			return &committedError{err}
 		}
 	}
 	if v.opt.CompactEvery > 0 && v.appends >= v.opt.CompactEvery {
-		return v.compactLocked()
+		if err := v.compactLocked(); err != nil {
+			return &committedError{err}
+		}
 	}
 	return nil
 }

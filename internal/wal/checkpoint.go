@@ -1,0 +1,191 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint file layout: a fixed header followed by the opaque payload.
+//
+//	offset 0  [8]byte    magic "ADJCKPT1"
+//	offset 8  uint32 LE  format version (1)
+//	offset 12 uint32 LE  CRC-32C over bytes [16, 32+n)
+//	offset 16 uint64 LE  covered seq (last WAL record folded in)
+//	offset 24 uint64 LE  payload length n
+//	offset 32 [n]byte    payload
+const (
+	ckptMagic      = "ADJCKPT1"
+	ckptVersion    = 1
+	ckptHeaderSize = 8 + 4 + 4 + 8 + 8
+)
+
+// checkpointName renders the canonical file name for a checkpoint
+// covering seq.
+func checkpointName(seq uint64) string { return fmt.Sprintf("ckpt-%016x.ckpt", seq) }
+
+// WriteCheckpoint atomically writes a checkpoint covering every WAL
+// record with sequence number <= seq: temp file, fsync, rename into
+// place, directory fsync. A crash at any point leaves either no new
+// checkpoint or a complete one.
+func WriteCheckpoint(dir string, seq uint64, payload []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	buf := make([]byte, 0, ckptHeaderSize+len(payload))
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, ckptVersion)
+	crcAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // CRC patched below
+	bodyAt := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	binary.LittleEndian.PutUint32(buf[crcAt:], crc32.Checksum(buf[bodyAt:], castagnoli))
+
+	final := filepath.Join(dir, checkpointName(seq))
+	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpPath) }
+	if _, err := tmp.Write(buf); err != nil {
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return "", err
+	}
+	if err := os.Rename(tmpPath, final); err != nil {
+		os.Remove(tmpPath)
+		return "", err
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// checkpointInfo is one discovered checkpoint file.
+type checkpointInfo struct {
+	path string
+	seq  uint64
+}
+
+// listCheckpoints returns checkpoint files sorted newest (highest seq)
+// first. Files whose names do not parse are ignored — they cannot be
+// loaded by name anyway and must not block recovery from good ones.
+func listCheckpoints(dir string) ([]checkpointInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cks []checkpointInfo
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ckpt")
+		seq, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue
+		}
+		cks = append(cks, checkpointInfo{path: filepath.Join(dir, name), seq: seq})
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].seq > cks[j].seq })
+	return cks, nil
+}
+
+// readCheckpoint validates one checkpoint file and returns its payload.
+func readCheckpoint(path string, wantSeq uint64) ([]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < ckptHeaderSize {
+		return nil, &CorruptError{Path: path, Reason: "short checkpoint header"}
+	}
+	if string(buf[:8]) != ckptMagic {
+		return nil, &CorruptError{Path: path, Reason: "bad checkpoint magic"}
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != ckptVersion {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("unsupported checkpoint version %d", v)}
+	}
+	seq := binary.LittleEndian.Uint64(buf[16:])
+	if seq != wantSeq {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("header seq %d does not match file name seq %d", seq, wantSeq)}
+	}
+	n := binary.LittleEndian.Uint64(buf[24:])
+	if uint64(len(buf)) != ckptHeaderSize+n {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("checkpoint size %d does not match header length %d", len(buf), n)}
+	}
+	wantCRC := binary.LittleEndian.Uint32(buf[12:])
+	if got := crc32.Checksum(buf[16:], castagnoli); got != wantCRC {
+		return nil, &CorruptError{Path: path, Reason: "checkpoint checksum mismatch"}
+	}
+	return buf[ckptHeaderSize:], nil
+}
+
+// LoadCheckpoint returns the newest checkpoint that passes validation,
+// its covered seq, and the per-file errors of any newer checkpoints
+// skipped on the way (stale checkpoint + longer WAL replay is the
+// designed fallback). With no checkpoint files at all it returns
+// seq 0 and a nil payload — an empty-state recovery, not an error.
+// When checkpoint files exist but every one is invalid it fails with
+// the newest file's *CorruptError: silently restarting empty would
+// discard state that provably existed.
+func LoadCheckpoint(dir string) (payload []byte, seq uint64, skipped []error, err error) {
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	for _, ck := range cks {
+		p, rerr := readCheckpoint(ck.path, ck.seq)
+		if rerr == nil {
+			return p, ck.seq, skipped, nil
+		}
+		skipped = append(skipped, rerr)
+	}
+	if len(skipped) > 0 {
+		return nil, 0, skipped, skipped[0]
+	}
+	return nil, 0, nil, nil
+}
+
+// RetireCheckpoints deletes all but the keep newest checkpoint files.
+func RetireCheckpoints(dir string, keep int) (removed int, err error) {
+	if keep < 1 {
+		keep = 1
+	}
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, ck := range cks[min(keep, len(cks)):] {
+		if err := os.Remove(ck.path); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
