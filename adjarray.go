@@ -266,6 +266,33 @@ func AdjacencyViewFromIncidence[V any](eout, ein *Array[V], ops Ops[V], opt Stre
 	return stream.FromIncidence(eout, ein, ops, opt)
 }
 
+// Sharded ingest: route-by-hash scatter across per-shard views with
+// scatter-gather snapshots (see stream.ShardedView).
+
+// ShardedStreamOptions tunes a sharded maintained view: the shard count
+// plus the per-shard StreamOptions.
+type ShardedStreamOptions = stream.ShardedOptions
+
+// ShardedAdjacencyView hash-partitions the ingested vertex space across
+// goroutine-shards, each owning its own AdjacencyView, so concurrent
+// appends to different shards never contend. Snapshot pins one
+// consistent epoch per shard and lazily ⊕-merges the per-shard
+// adjacencies — bit-identical to the single-view construction because
+// shards own disjoint adjacency rows.
+type ShardedAdjacencyView[V any] = stream.ShardedView[V]
+
+// ShardedAdjacencySnapshot is an immutable scatter-gather read view
+// pinned at one epoch vector.
+type ShardedAdjacencySnapshot[V any] = stream.ShardedSnapshot[V]
+
+// ShardedStreamStats aggregates per-shard view counters.
+type ShardedStreamStats = stream.ShardedStats
+
+// NewShardedAdjacencyView creates an empty in-memory sharded view.
+func NewShardedAdjacencyView[V any](ops Ops[V], opt ShardedStreamOptions) *ShardedAdjacencyView[V] {
+	return stream.NewShardedView(ops, opt)
+}
+
 // Ingest accumulates edge triples and feeds a maintained view — the
 // ingest-side counterpart of Build.
 type Ingest = core.Ingest

@@ -13,10 +13,18 @@
 // (which annihilates: such an edge contributes no adjacency entry).
 // Lines starting with '#' and blank lines are skipped.
 //
+// Ingest is sharded by default: -shards (default GOMAXPROCS) partitions
+// the vertex space by source-vertex hash across goroutine-shards, each
+// owning its own view (and, when durable, its own WAL/checkpoint
+// subdirectory), so appends to different shards never contend on one
+// lock. Queries resolve against scatter-gather snapshots pinned at one
+// consistent epoch per shard — every response carries that epoch
+// vector. -shards 1 keeps the classic single view.
+//
 // With -serve the process answers HTTP queries from live snapshots
 // while ingesting:
 //
-//	GET /stats               ingest counters (JSON)
+//	GET /stats               ingest counters (JSON; per-shard breakdown when sharded)
 //	GET /healthz             liveness + durability position (fsync epoch, WAL lag)
 //	GET /at?src=a&dst=b      one adjacency entry
 //	GET /row?src=a           one row of the adjacency array
@@ -28,8 +36,8 @@
 //	GET /triangles           triangle count (symmetric patterns)
 //
 // Algorithm queries run on the CSR-native kernels over a Graph built
-// from the current snapshot and cached per epoch, so a burst of queries
-// against an unchanged graph pays the id-space embedding once.
+// from the current snapshot and cached per epoch vector, so a burst of
+// queries against an unchanged graph pays the id-space embedding once.
 //
 // With -data-dir the store is durable: on start the view is recovered
 // from the newest valid checkpoint plus a WAL replay (the recovered and
@@ -37,7 +45,9 @@
 // the log under the -fsync policy (batch, interval, or off), background
 // checkpoints run every -checkpoint-every batches, and shutdown —
 // stream end or SIGINT/SIGTERM — flushes partial batches and writes a
-// final covering checkpoint before the process exits.
+// final covering checkpoint before the process exits. A sharded
+// durable store keeps one WAL/checkpoint directory per shard plus a
+// SHARDS meta file; reopening adopts the recorded shard count.
 //
 // The process exits when the input stream ends (unless -serve keeps it
 // answering queries) and shuts down cleanly on SIGINT/SIGTERM.
@@ -46,7 +56,7 @@
 //
 //	generate_edges | adjserve -semiring +.* -serve :8080
 //	adjserve -in edges.tsv -keyed -semiring max.plus -batch 256
-//	adjserve -in edges.tsv -data-dir /var/lib/adjserve -fsync batch
+//	adjserve -in edges.tsv -data-dir /var/lib/adjserve -fsync batch -shards 4
 package main
 
 import (
@@ -61,13 +71,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"adjarray/internal/algo"
+	"adjarray/internal/assoc"
 	"adjarray/internal/core"
 	"adjarray/internal/keys"
 	"adjarray/internal/stream"
@@ -81,6 +95,7 @@ type config struct {
 	in            string
 	keyed         bool
 	batch         int
+	shards        int
 	compactEvery  int
 	check         bool
 	serve         string
@@ -98,6 +113,7 @@ func main() {
 	flag.StringVar(&cfg.in, "in", "-", "edge stream: file path or - for stdin")
 	flag.BoolVar(&cfg.keyed, "keyed", false, "lines carry an explicit leading edge key")
 	flag.IntVar(&cfg.batch, "batch", 512, "edges per delta batch")
+	flag.IntVar(&cfg.shards, "shards", runtime.GOMAXPROCS(0), "goroutine-shards for ingest (route-by-hash on src); 1 = classic single view")
 	flag.IntVar(&cfg.compactEvery, "compact-every", 0, "auto-Compact after this many batches (0 = never)")
 	flag.BoolVar(&cfg.check, "check", false, "sample the ⊕-associativity guard on every batch")
 	flag.StringVar(&cfg.serve, "serve", "", "HTTP listen address for snapshot queries (e.g. :8080); empty = ingest only")
@@ -124,6 +140,7 @@ func run(cfg config) error {
 	opt := core.IngestOptions{
 		Semiring:  cfg.semiring,
 		BatchSize: cfg.batch,
+		Shards:    cfg.shards,
 		Stream: stream.Options{
 			CompactEvery:     cfg.compactEvery,
 			CheckAssociative: cfg.check,
@@ -151,14 +168,24 @@ func run(cfg config) error {
 			"adjserve: recovered epoch %d (durable %d) from %s — checkpoint seq %d, %d batches replayed, %d torn bytes truncated, fsync=%s\n",
 			st.Epoch, st.DurableEpoch, cfg.dataDir, rec.CheckpointSeq, rec.Replayed, rec.TornBytes, st.Policy)
 	}
+	if sv := ing.Sharded(); sv != nil && sv.Durable() {
+		recs, durs := sv.Recovery(), sv.Durability()
+		replayed, torn := 0, int64(0)
+		epochs := make([]uint64, len(durs))
+		for i := range recs {
+			replayed += recs[i].Replayed
+			torn += recs[i].TornBytes
+			epochs[i] = durs[i].Epoch
+		}
+		fmt.Fprintf(os.Stderr,
+			"adjserve: recovered %d shards from %s — epoch vector %v, %d batches replayed, %d torn bytes truncated, fsync=%s\n",
+			sv.Shards(), cfg.dataDir, epochs, replayed, torn, durs[0].Policy)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// The accumulator is not safe for concurrent Add/Flush, so the ingest
-	// loop and the periodic flusher share a mutex. Snapshot queries go
-	// straight to the View, which has its own locking.
-	var mu sync.Mutex
+	f := newFront(ing, cfg.batch)
 	fatal := make(chan error, 2) // server or flusher failure
 
 	// Every exit path — stream end, SIGINT/SIGTERM, fatal server error —
@@ -166,13 +193,16 @@ func run(cfg config) error {
 	// closes the log; a crash between here and exit is then recoverable
 	// from the checkpoint alone.
 	defer func() {
-		mu.Lock()
-		defer mu.Unlock()
-		d := ing.Durable()
-		if err := ing.Close(); err != nil {
+		if err := f.flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "adjserve: final flush:", err)
+		}
+		durable := ing.Durable() != nil || (ing.Sharded() != nil && ing.Sharded().Durable())
+		if err := f.close(); err != nil {
 			fmt.Fprintln(os.Stderr, "adjserve: durability shutdown:", err)
-		} else if d != nil {
+		} else if d := ing.Durable(); d != nil {
 			fmt.Fprintf(os.Stderr, "adjserve: final checkpoint at epoch %d\n", d.Durability().CheckpointSeq)
+		} else if durable {
+			fmt.Fprintln(os.Stderr, "adjserve: final per-shard checkpoints written")
 		}
 	}()
 
@@ -220,10 +250,7 @@ func run(cfg config) error {
 				case <-ctx.Done():
 					return
 				case <-t.C:
-					mu.Lock()
-					err := ing.Flush()
-					mu.Unlock()
-					if err != nil {
+					if err := f.flush(); err != nil {
 						fatal <- fmt.Errorf("flush: %w", err)
 						return
 					}
@@ -234,18 +261,17 @@ func run(cfg config) error {
 
 	src := io.Reader(os.Stdin)
 	if cfg.in != "-" {
-		f, err := os.Open(cfg.in)
+		file, err := os.Open(cfg.in)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		src = f
+		defer file.Close()
+		src = file
 	}
 
 	start := time.Now()
 	ingested := make(chan error, 1)
-	var edges int
-	go func() { ingested <- ingest(src, cfg.keyed, ing, &mu, &edges) }()
+	go func() { ingested <- ingest(src, cfg.keyed, f) }()
 
 	select {
 	case err := <-ingested:
@@ -265,17 +291,28 @@ func run(cfg config) error {
 	close(flushStop)
 	flushWG.Wait()
 
-	mu.Lock()
-	_, err = ing.Snapshot() // flush + materialize for the final stats
-	mu.Unlock()
-	if err != nil {
+	if err := f.flush(); err != nil {
 		return err
 	}
-	st := ing.View().Stats()
-	fmt.Fprintf(os.Stderr,
-		"adjserve: ingested %d edges in %v — %d out-vertices, %d in-vertices, %d adjacency entries (%d pending), exact=%v\n",
-		edges, time.Since(start).Round(time.Millisecond),
-		st.OutVertices, st.InVertices, st.AdjNNZ, st.PendingNNZ, st.Exact)
+	if sv := ing.Sharded(); sv != nil {
+		if _, err := sv.Snapshot(); err != nil { // materialize for the final stats
+			return err
+		}
+		st := sv.Stats()
+		fmt.Fprintf(os.Stderr,
+			"adjserve: ingested %d edges in %v across %d shards — %d adjacency entries (%d pending), epoch vector %v, exact=%v\n",
+			f.edges.Load(), time.Since(start).Round(time.Millisecond),
+			st.Shards, st.AdjNNZ, st.Pending, st.Epochs, st.Exact)
+	} else {
+		if _, err := ing.Snapshot(); err != nil { // flush + materialize for the final stats
+			return err
+		}
+		st := ing.View().Stats()
+		fmt.Fprintf(os.Stderr,
+			"adjserve: ingested %d edges in %v — %d out-vertices, %d in-vertices, %d adjacency entries (%d pending), exact=%v\n",
+			f.edges.Load(), time.Since(start).Round(time.Millisecond),
+			st.OutVertices, st.InVertices, st.AdjNNZ, st.PendingNNZ, st.Exact)
+	}
 
 	if srv != nil {
 		fmt.Fprintln(os.Stderr, "adjserve: stream ended; still serving (interrupt to exit)")
@@ -289,10 +326,99 @@ func run(cfg config) error {
 	return nil
 }
 
-// ingest drains the edge stream into the accumulator, counting accepted
-// edges through *edges (written before the channel send in run's select,
-// so the count is safely published).
-func ingest(src io.Reader, keyed bool, ing *core.Ingest, mu *sync.Mutex, edges *int) error {
+// front is the ingest-side write path.
+//
+// Single-view mode keeps the historical design: one process-wide mutex
+// serializes the core.Ingest accumulator (Add, Flush, and the append
+// they trigger all run under it).
+//
+// Sharded mode is what ROADMAP item 4 asked for: the process-wide
+// critical section shrinks to the local batch buffer and the edge
+// counter (an atomic). The Append itself — scatter, per-shard key
+// assignment, fold, WAL write — runs OUTSIDE that lock against the
+// sharded view's per-shard locks, so concurrent producers (and the
+// periodic flusher) only contend when they touch the same shard. A
+// small ordering mutex serializes buffer swap + append so batches reach
+// each shard in arrival order, which keeps explicit -keyed streams
+// within the per-shard ascending-key discipline.
+type front struct {
+	ing  *core.Ingest
+	sv   *stream.ShardedView[float64] // nil in single-view mode
+	size int
+
+	mu    sync.Mutex // single-view: accumulator guard; sharded: batch-buffer guard only
+	amu   sync.Mutex // sharded: swap+append ordering (never held while buffering edges)
+	buf   []stream.Edge[float64]
+	edges atomic.Int64
+}
+
+func newFront(ing *core.Ingest, batch int) *front {
+	if batch <= 0 {
+		batch = 512
+	}
+	f := &front{ing: ing, sv: ing.Sharded(), size: batch}
+	if f.sv != nil {
+		f.buf = make([]stream.Edge[float64], 0, batch)
+	}
+	return f
+}
+
+// add buffers one edge and flushes full batches.
+func (f *front) add(e stream.Edge[float64]) error {
+	if f.sv == nil {
+		f.mu.Lock()
+		err := f.ing.Add(e)
+		f.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		f.edges.Add(1)
+		return nil
+	}
+	f.mu.Lock()
+	f.buf = append(f.buf, e)
+	full := len(f.buf) >= f.size
+	f.mu.Unlock()
+	f.edges.Add(1)
+	if full {
+		return f.flush()
+	}
+	return nil
+}
+
+// flush appends whatever is buffered. In sharded mode the buffer is
+// swapped out under the narrow lock and appended outside it.
+func (f *front) flush() error {
+	if f.sv == nil {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.ing.Flush()
+	}
+	f.amu.Lock()
+	defer f.amu.Unlock()
+	f.mu.Lock()
+	b := f.buf
+	f.buf = make([]stream.Edge[float64], 0, f.size)
+	f.mu.Unlock()
+	if len(b) == 0 {
+		return nil
+	}
+	return f.sv.Append(b)
+}
+
+// close shuts the ingest down (final checkpoint + log close when
+// durable). The single-view path serializes against add/flush.
+func (f *front) close() error {
+	if f.sv == nil {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+	}
+	return f.ing.Close()
+}
+
+// ingest drains the edge stream into the front, which counts accepted
+// edges on its atomic counter.
+func ingest(src io.Reader, keyed bool, f *front) error {
 	lines := 0
 	sc := bufio.NewScanner(src)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -306,13 +432,9 @@ func ingest(src io.Reader, keyed bool, ing *core.Ingest, mu *sync.Mutex, edges *
 		if err != nil {
 			return fmt.Errorf("line %d: %w", lines, err)
 		}
-		mu.Lock()
-		err = ing.Add(e)
-		mu.Unlock()
-		if err != nil {
+		if err := f.add(e); err != nil {
 			return fmt.Errorf("line %d: %w", lines, err)
 		}
-		*edges++
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("read: %w", err)
@@ -353,30 +475,71 @@ func parseEdge(line string, keyed bool) (stream.Edge[float64], error) {
 	return e, nil
 }
 
-// graphCache memoizes the CSR-native algo.Graph per snapshot epoch:
-// algorithm queries between ingest batches reuse one id-space embedding
-// (and its lazily built transpose) instead of rebuilding per request.
-type graphCache struct {
-	mu    sync.Mutex
-	epoch int
-	g     *algo.Graph
-}
-
-func (c *graphCache) get(ing *core.Ingest) (*algo.Graph, stream.Snapshot[float64], error) {
+// takeSnapshot pins one consistent read: the adjacency plus the epoch
+// vector it was pinned at. A single view reports a one-element vector;
+// a sharded view gathers the per-shard adjacencies (cached per vector,
+// so repeated queries between appends share one merge).
+func takeSnapshot(ing *core.Ingest) (*assoc.Array[float64], []int, bool, error) {
+	if sv := ing.Sharded(); sv != nil {
+		ss, err := sv.Snapshot()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		adj, err := ss.Adjacency()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return adj, ss.Epochs, ss.Exact, nil
+	}
 	snap, err := ing.View().Snapshot()
 	if err != nil {
-		return nil, snap, err
+		return nil, nil, false, err
+	}
+	return snap.Adjacency, []int{snap.Epoch}, snap.Exact, nil
+}
+
+// epochFields stamps a response with its consistency token: the pinned
+// epoch vector plus the scalar sum (a single scalar for clients that
+// only order responses; the vector is the token queries were answered
+// at — every field of one response reflects shard i at exactly
+// epochs[i]).
+func epochFields(m map[string]any, epochs []int) map[string]any {
+	sum := 0
+	for _, e := range epochs {
+		sum += e
+	}
+	m["epoch"] = sum
+	m["epochs"] = epochs
+	return m
+}
+
+// graphCache memoizes the CSR-native algo.Graph per snapshot epoch
+// vector: algorithm queries between ingest batches reuse one id-space
+// embedding (and its lazily built transpose) instead of rebuilding per
+// request. The vector is the cache key, so a sharded graph rebuilds
+// exactly when some shard advanced.
+type graphCache struct {
+	mu     sync.Mutex
+	epochs []int
+	g      *algo.Graph
+	exact  bool
+}
+
+func (c *graphCache) get(ing *core.Ingest) (*algo.Graph, []int, bool, error) {
+	adj, epochs, exact, err := takeSnapshot(ing)
+	if err != nil {
+		return nil, nil, false, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.g == nil || c.epoch != snap.Epoch {
-		g, err := algo.FromSnapshot(snap)
+	if c.g == nil || !slices.Equal(c.epochs, epochs) {
+		g, err := algo.FromArray(adj)
 		if err != nil {
-			return nil, snap, err
+			return nil, nil, false, err
 		}
-		c.g, c.epoch = g, snap.Epoch
+		c.g, c.epochs, c.exact = g, epochs, exact
 	}
-	return c.g, snap, nil
+	return c.g, c.epochs, c.exact, nil
 }
 
 // triplesCap is the default (and maximum-less) /triples row budget; a
@@ -386,7 +549,8 @@ const triplesCap = 10000
 
 // handler builds the snapshot-query mux. Every request takes its own
 // snapshot: O(1) unless appends happened since the last read, and never
-// blocked by ingest for longer than the pending fold.
+// blocked by ingest for longer than the pending fold (sharded: the
+// per-shard folds plus one cached gather).
 func handler(ing *core.Ingest) http.Handler {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
@@ -411,20 +575,41 @@ func handler(ing *core.Ingest) http.Handler {
 		}
 		return out
 	}
-	snapshot := func(w http.ResponseWriter) (stream.Snapshot[float64], bool) {
-		snap, err := ing.View().Snapshot()
+	snapshot := func(w http.ResponseWriter) (*assoc.Array[float64], []int, bool, bool) {
+		adj, epochs, exact, err := takeSnapshot(ing)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return snap, false
+			return nil, nil, false, false
 		}
-		return snap, true
+		return adj, epochs, exact, true
 	}
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if sv := ing.Sharded(); sv != nil {
+			writeJSON(w, sv.Stats())
+			return
+		}
 		writeJSON(w, ing.View().Stats())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		resp := map[string]any{"ok": true, "durable": false}
-		if d := ing.Durable(); d != nil {
+		if sv := ing.Sharded(); sv != nil {
+			resp["shards"] = sv.Shards()
+			if durs := sv.Durability(); durs != nil {
+				epochs := make([]uint64, len(durs))
+				durable := make([]uint64, len(durs))
+				lag := uint64(0)
+				for i, st := range durs {
+					epochs[i] = st.Epoch
+					durable[i] = st.DurableEpoch
+					lag += st.WALLag
+				}
+				resp["durable"] = true
+				resp["epochs"] = epochs
+				resp["durable_epochs"] = durable
+				resp["wal_lag"] = lag // batches across all shards a crash right now would lose
+				resp["fsync_policy"] = durs[0].Policy
+			}
+		} else if d := ing.Durable(); d != nil {
 			st := d.Durability()
 			resp["durable"] = true
 			resp["epoch"] = st.Epoch
@@ -441,12 +626,12 @@ func handler(ing *core.Ingest) http.Handler {
 			http.Error(w, "want ?src=...&dst=...", http.StatusBadRequest)
 			return
 		}
-		snap, ok := snapshot(w)
+		adj, epochs, _, ok := snapshot(w)
 		if !ok {
 			return
 		}
-		val, stored := snap.Adjacency.At(src, dst)
-		writeJSON(w, map[string]any{"src": src, "dst": dst, "value": safeFloat(val), "stored": stored, "epoch": snap.Epoch})
+		val, stored := adj.At(src, dst)
+		writeJSON(w, epochFields(map[string]any{"src": src, "dst": dst, "value": safeFloat(val), "stored": stored}, epochs))
 	})
 	mux.HandleFunc("/row", func(w http.ResponseWriter, r *http.Request) {
 		src := r.URL.Query().Get("src")
@@ -454,15 +639,15 @@ func handler(ing *core.Ingest) http.Handler {
 			http.Error(w, "want ?src=...", http.StatusBadRequest)
 			return
 		}
-		snap, ok := snapshot(w)
+		adj, epochs, _, ok := snapshot(w)
 		if !ok {
 			return
 		}
 		row := map[string]any{}
-		snap.Adjacency.SubRef(keys.Range{Lo: src, Hi: src}, nil).Iterate(func(_, d string, v float64) {
+		adj.SubRef(keys.Range{Lo: src, Hi: src}, nil).Iterate(func(_, d string, v float64) {
 			row[d] = safeFloat(v)
 		})
-		writeJSON(w, map[string]any{"src": src, "row": row, "epoch": snap.Epoch})
+		writeJSON(w, epochFields(map[string]any{"src": src, "row": row}, epochs))
 	})
 	mux.HandleFunc("/triples", func(w http.ResponseWriter, r *http.Request) {
 		limit := triplesCap
@@ -474,11 +659,11 @@ func handler(ing *core.Ingest) http.Handler {
 			}
 			limit = n
 		}
-		snap, ok := snapshot(w)
+		adj, epochs, exact, ok := snapshot(w)
 		if !ok {
 			return
 		}
-		total := snap.Adjacency.NNZ()
+		total := adj.NNZ()
 		// Collect through Iterate so memory is O(limit), never O(nnz):
 		// the cap must protect the process, not just the response size.
 		prealloc := limit
@@ -486,24 +671,23 @@ func handler(ing *core.Ingest) http.Handler {
 			prealloc = total
 		}
 		rows := make([]map[string]any, 0, prealloc)
-		snap.Adjacency.Iterate(func(rk, ck string, v float64) {
+		adj.Iterate(func(rk, ck string, v float64) {
 			if len(rows) < limit {
 				rows = append(rows, map[string]any{"row": rk, "col": ck, "val": safeFloat(v)})
 			}
 		})
-		writeJSON(w, map[string]any{
-			"triples": rows, "total": total, "truncated": total > limit,
-			"epoch": snap.Epoch, "exact": snap.Exact,
-		})
+		writeJSON(w, epochFields(map[string]any{
+			"triples": rows, "total": total, "truncated": total > limit, "exact": exact,
+		}, epochs))
 	})
 
-	// Algorithm endpoints: CSR-native kernels over the per-epoch cached
-	// Graph. A source that is not a vertex is the client's error (404);
-	// an algorithm refusing the instance (asymmetric triangles, no
-	// fixpoint) is 422.
+	// Algorithm endpoints: CSR-native kernels over the per-epoch-vector
+	// cached Graph. A source that is not a vertex is the client's error
+	// (404); an algorithm refusing the instance (asymmetric triangles,
+	// no fixpoint) is 422.
 	cache := &graphCache{}
 	algoQuery := func(w http.ResponseWriter, compute func(g *algo.Graph) (any, error)) {
-		g, snap, err := cache.get(ing)
+		g, epochs, exact, err := cache.get(ing)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -517,7 +701,7 @@ func handler(ing *core.Ingest) http.Handler {
 			http.Error(w, err.Error(), status)
 			return
 		}
-		writeJSON(w, map[string]any{"result": res, "epoch": snap.Epoch, "exact": snap.Exact})
+		writeJSON(w, epochFields(map[string]any{"result": res, "exact": exact}, epochs))
 	}
 	sourceQuery := func(run func(g *algo.Graph, src string) (any, error)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {

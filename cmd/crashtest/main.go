@@ -69,6 +69,7 @@ func main() {
 	flag.IntVar(&cfg.CheckpointEvery, "checkpoint-every", 7, "child checkpoints every N batches (0 = never)")
 	flag.IntVar(&cfg.KillAfterMaxMS, "kill-after-max-ms", 30, "upper bound on the random delay before SIGKILL")
 	corrupt := flag.Bool("corrupt", true, "also run the corruption-injection scenarios")
+	shards := flag.Int("shards", 3, "also run the sharded kill-and-recover harness with this many shards (<= 1 disables)")
 	flag.Parse()
 
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, "crashtest: "+format+"\n", args...) }
@@ -85,7 +86,19 @@ func main() {
 		logf("FAIL: %v", err)
 		os.Exit(1)
 	}
+	if *shards > 1 {
+		if err := runShardedHarness(cfg, *shards, logf); err != nil {
+			logf("FAIL: %v", err)
+			os.Exit(1)
+		}
+	}
 	if *corrupt {
+		if *shards > 1 {
+			if err := runShardedTornShard(filepath.Join(cfg.Dir, "corrupt"), cfg.Seed, logf); err != nil {
+				logf("FAIL: %v", err)
+				os.Exit(1)
+			}
+		}
 		if err := runCorruption(filepath.Join(cfg.Dir, "corrupt"), cfg.Seed, logf); err != nil {
 			logf("FAIL: %v", err)
 			os.Exit(1)
@@ -213,6 +226,9 @@ func childMain() error {
 		return fmt.Errorf("CRASHTEST_MAX: %w", err)
 	}
 	ckptEvery, _ := strconv.Atoi(os.Getenv("CRASHTEST_CKPT"))
+	if shards, _ := strconv.Atoi(os.Getenv("CRASHTEST_SHARDS")); shards > 1 {
+		return childShardedMain(dir, seed, maxB, shards, ckptEvery)
+	}
 	ops, err := mustOps()
 	if err != nil {
 		return err

@@ -51,3 +51,35 @@ func TestCorruptionInjection(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestShardedKillAndRecover: the same discipline against the 3-shard
+// store — a kill can land mid-scatter, so recovery must serve exactly
+// the union of per-shard prefixes (bit-identical to the dense oracle
+// over those edges) and the next child run must repair the partial
+// global batch before continuing.
+func TestShardedKillAndRecover(t *testing.T) {
+	cfg := harnessConfig{
+		Iters:           25,
+		Seed:            11,
+		Dir:             t.TempDir(),
+		BatchesPerRun:   48,
+		CheckpointEvery: 7,
+		KillAfterMaxMS:  30,
+	}
+	if testing.Short() {
+		cfg.Iters = 8
+	}
+	if err := runShardedHarness(cfg, 3, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedTornShardDirectory kills exactly one shard directory of a
+// cleanly written store (torn WAL tail) and proves the other shards are
+// untouched, the gathered adjacency matches the oracle over the uneven
+// prefixes, and a catch-up pass restores full coverage.
+func TestShardedTornShardDirectory(t *testing.T) {
+	if err := runShardedTornShard(t.TempDir(), 11, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,7 @@
 //	graphbench -gen rmat -scale 14 -workersweep 1,2,4,8
 //	graphbench -gen stream -scale 12 -deltas 100
 //	graphbench -gen durable -scale 12 -deltas 100   # WAL fsync policies + recovery
+//	graphbench -gen shard -scale 14 -deltas 40      # sharded vs single-view ingest
 //	graphbench -gen algo             # algorithm kernels, assoc vs CSR
 //	graphbench -gen bench4 -json BENCH_4.json   # the committed scaling artifact
 //	graphbench -gen durable -json BENCH_5.json  # the committed durability artifact
@@ -42,6 +43,12 @@
 // and both recovery shapes ("durable_recover_replay" re-applies the
 // whole log, "durable_recover_checkpoint" loads the checkpoint).
 //
+// The shard workload is the committed BENCH_6.json matrix: 4 concurrent
+// producers append delta batches through the goroutine-sharded view at
+// shards 1/2/4/8 ("sharded_append", with shards=1 the single-view
+// baseline) plus the scatter-gather materialize latency at each count
+// ("sharded_materialize"). The workers column carries the shard count.
+//
 // The algo workload times the graph algorithms (BFS, SSSP, PageRank)
 // on rmat-s12 and rmat-s14 adjacency arrays, one row per algorithm per
 // execution path: backend "algo_<name>_assoc" iterates the map-backed
@@ -60,6 +67,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"adjarray/internal/algo"
@@ -153,7 +161,7 @@ func parseWorkerSweep(s string) []int {
 }
 
 func main() {
-	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | stream | durable | algo | bench4 | sweep")
+	gen := flag.String("gen", "sweep", "workload: rmat | er | bipartite | stream | shard | durable | algo | bench4 | sweep")
 	deltas := flag.Int("deltas", 100, "stream workload: number of 1%% delta batches")
 	scale := flag.Int("scale", 10, "R-MAT scale (2^scale vertices)")
 	ef := flag.Int("ef", 8, "R-MAT edge factor")
@@ -169,6 +177,8 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions per configuration (fastest kept)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after GC) to this path at exit")
+	shardSpeedup := flag.Float64("shardspeedup", 0,
+		"shard workload: fail unless sharded_append at 4 shards is at least this many times faster than at 1 shard (0 disables)")
 	verify := flag.Bool("verify", false,
 		"validate every result against a correctness oracle instead of trusting the fast path: "+
 			"the dense Definition I.3 product when affordable, the serial two-phase reference otherwise; "+
@@ -595,6 +605,158 @@ func main() {
 		emit(name, V, edges, "durable_recover_checkpoint", 1, nnz, best)
 	}
 
+	// runShard measures the goroutine-sharded ingest against the
+	// single-view baseline: 4 concurrent producers push -deltas
+	// delta-batches (auto-assigned keys — the adjserve front's write
+	// shape) through a ShardedView at each shard count; shards=1 IS the
+	// single-view path (one view, one lock), so the workers column
+	// doubles as the shard axis and the 1-row is the baseline.
+	//
+	//   - "sharded_append": mean per-batch wall time across the
+	//     producers (aggregate throughput is its inverse);
+	//   - "sharded_materialize": one scatter-gather fold — every shard's
+	//     backlog materialized and the per-shard adjacencies ⊕-merged
+	//     into the gathered snapshot.
+	runShard := func(name string, g *graph.Graph, deltas int, counts []int) {
+		es := g.Edges()
+		per := len(es) / 100
+		if per == 0 {
+			per = 1
+		}
+		entry, _ := semiring.Lookup(*sr)
+		V := g.Vertices().Len()
+		const producers = 4
+		// Every call regenerates the SAME batches: all shard counts, reps,
+		// and arms measure one workload, so the rows compare directly.
+		pregen := func() [][][]stream.Edge[float64] {
+			sg := rand.New(rand.NewSource(*seed + 2))
+			lists := make([][][]stream.Edge[float64], producers)
+			for d := 0; d < deltas; d++ {
+				batch := make([]stream.Edge[float64], per)
+				for i := range batch {
+					e := es[sg.Intn(len(es))]
+					batch[i] = stream.Weighted("", e.Src, e.Dst, 1.0, 1)
+				}
+				lists[d%producers] = append(lists[d%producers], batch)
+			}
+			return lists
+		}
+		appendAll := func(sv *stream.ShardedView[float64], lists [][][]stream.Edge[float64]) error {
+			var wg sync.WaitGroup
+			errs := make([]error, producers)
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for _, b := range lists[p] {
+						if err := sv.Append(b); err != nil {
+							errs[p] = err
+							return
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, n := range counts {
+			var appendBest measure
+			var nnz, edges int
+			for rep := 0; rep < *reps || rep == 0; rep++ {
+				sv := stream.NewShardedView(entry.Ops, stream.ShardedOptions{Shards: n})
+				lists := pregen()
+				total, err := timed(func() error { return appendAll(sv, lists) })
+				if err != nil {
+					fail(err)
+				}
+				m := measure{
+					elapsed: total.elapsed / time.Duration(deltas),
+					allocs:  total.allocs / int64(deltas),
+					bytes:   total.bytes / int64(deltas),
+				}
+				if rep == 0 || m.elapsed < appendBest.elapsed {
+					appendBest = m
+				}
+				snap, err := sv.Snapshot()
+				if err != nil {
+					fail(err)
+				}
+				merged, err := snap.Merged()
+				if err != nil {
+					fail(err)
+				}
+				nnz, edges = merged.Adjacency.NNZ(), merged.Edges
+				if *verify {
+					want, err := assoc.Correlate(merged.Eout, merged.Ein, entry.Ops, assoc.MulOptions{})
+					if err != nil {
+						fail(err)
+					}
+					if diff := assoc.Diff(want, merged.Adjacency, value.Float64Equal, value.FormatFloat); diff != "" {
+						fmt.Fprintf(os.Stderr, "graphbench: VERIFY FAILED: %d-shard gather diverges from full rebuild on %s: %s\n", n, name, diff)
+						os.Exit(1)
+					}
+				}
+			}
+			emit(name, V, edges, "sharded_append", n, nnz, appendBest)
+
+			// Materialize: the whole backlog queues (unbounded budget),
+			// then one gather folds every shard and ⊕-merges.
+			var matBest measure
+			for rep := 0; rep < *reps || rep == 0; rep++ {
+				sv := stream.NewShardedView(entry.Ops, stream.ShardedOptions{
+					Shards: n,
+					Stream: stream.Options{PendingBudget: 1 << 30},
+				})
+				if err := appendAll(sv, pregen()); err != nil {
+					fail(err)
+				}
+				m, err := timed(func() error {
+					snap, err := sv.Snapshot()
+					if err != nil {
+						return err
+					}
+					_, err = snap.Adjacency()
+					return err
+				})
+				if err != nil {
+					fail(err)
+				}
+				if rep == 0 || m.elapsed < matBest.elapsed {
+					matBest = m
+				}
+			}
+			emit(name, V, edges, "sharded_materialize", n, nnz, matBest)
+		}
+		if *shardSpeedup > 0 {
+			var t1, t4 int64
+			for _, r := range jrows {
+				if r.Generator == name && r.Backend == "sharded_append" {
+					switch r.Workers {
+					case 1:
+						t1 = r.BuildNs
+					case 4:
+						t4 = r.BuildNs
+					}
+				}
+			}
+			if t1 == 0 || t4 == 0 {
+				fmt.Fprintln(os.Stderr, "graphbench: -shardspeedup needs the 1- and 4-shard sharded_append rows")
+				os.Exit(1)
+			}
+			ratio := float64(t1) / float64(t4)
+			fmt.Fprintf(os.Stderr, "graphbench: %s aggregate append speedup at 4 shards: %.2fx\n", name, ratio)
+			if ratio < *shardSpeedup {
+				fmt.Fprintf(os.Stderr, "graphbench: FAIL: speedup %.2fx < required %.2fx\n", ratio, *shardSpeedup)
+				os.Exit(1)
+			}
+		}
+	}
+
 	// runAlgo measures the algorithm arms: the assoc.Mul reference loop
 	// against the CSR-native kernels on one adjacency array, with the
 	// results differentially checked before timings count.
@@ -690,6 +852,8 @@ func main() {
 		}
 	case "durable":
 		runDurable(fmt.Sprintf("rmat-s%d", *scale), dataset.RMAT(rand.New(rand.NewSource(*seed)), *scale, *ef), *deltas)
+	case "shard":
+		runShard(fmt.Sprintf("rmat-s%d", *scale), dataset.RMAT(rand.New(rand.NewSource(*seed)), *scale, *ef), *deltas, []int{1, 2, 4, 8})
 	case "algo":
 		for _, s := range []int{12, 14} {
 			runAlgo(fmt.Sprintf("rmat-s%d", s), dataset.RMAT(rand.New(rand.NewSource(*seed)), s, *ef))

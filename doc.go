@@ -43,7 +43,13 @@
 //     a write-ahead incidence log plus checkpoints (internal/wal), with
 //     torn-tail repair, typed corruption errors, and a kill-and-recover
 //     gate in cmd/crashtest holding recovery bit-identical to the dense
-//     oracle.
+//     oracle;
+//   - goroutine-sharded ingest: ShardedAdjacencyView hash-partitions
+//     the vertex space by source across N shards (per-shard views,
+//     append locks, and — durable — WAL/checkpoint directories), with
+//     snapshots pinned to a per-shard epoch vector and lazily ⊕-merged
+//     at gather time, bit-identical to the single-view path because
+//     shards own disjoint adjacency rows.
 //
 // # Batch and incremental construction
 //

@@ -165,13 +165,31 @@ func alignUnion[V any](a, b *Array[V]) (*Array[V], *Array[V], error) {
 // must already be key-aligned: A's column keys equal B's row keys, and
 // M's key sets equal A's rows × B's columns.
 func MulMasked[V, M any](a, b *Array[V], mask *Array[M], ops semiring.Ops[V]) (*Array[V], error) {
+	return MulMaskedOpt(a, b, mask, ops, MulOptions{})
+}
+
+// MulMaskedOpt is MulMasked with kernel tuning: Workers > 1 (or < 0 for
+// GOMAXPROCS) runs the flop-balanced parallel masked kernel, bit-identical
+// to the serial one. Grain and FlopFloor behave as in Mul; Kernel is
+// rejected — the masked product has exactly one serial and one parallel
+// engine.
+func MulMaskedOpt[V, M any](a, b *Array[V], mask *Array[M], ops semiring.Ops[V], opt MulOptions) (*Array[V], error) {
 	if !a.cols.Equal(b.rows) {
 		return nil, fmt.Errorf("assoc: MulMasked requires aligned shared keys")
 	}
 	if !mask.rows.Equal(a.rows) || !mask.cols.Equal(b.cols) {
 		return nil, fmt.Errorf("assoc: MulMasked mask keys must be rows(A)×cols(B)")
 	}
-	m, err := sparse.MulMasked(a.mat, b.mat, mask.mat, ops)
+	if opt.Kernel != "" && opt.Kernel != "twophase" {
+		return nil, fmt.Errorf("assoc: masked multiplication has no %q kernel", opt.Kernel)
+	}
+	var m *sparse.CSR[V]
+	var err error
+	if opt.Workers > 1 || opt.Workers < 0 {
+		m, err = sparse.MulMaskedParallel(a.mat, b.mat, mask.mat, ops, opt.Workers, opt.Grain, opt.FlopFloor)
+	} else {
+		m, err = sparse.MulMasked(a.mat, b.mat, mask.mat, ops)
+	}
 	if err != nil {
 		return nil, err
 	}

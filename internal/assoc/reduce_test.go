@@ -1,6 +1,8 @@
 package assoc
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"adjarray/internal/semiring"
@@ -94,5 +96,47 @@ func TestMulMaskedAssocLevel(t *testing.T) {
 	q := FromTriples([]Triple[float64]{{Row: "x", Col: "y", Val: 1}}, nil)
 	if _, err := MulMasked(p, q, p, ops); err == nil {
 		t.Error("misaligned operands accepted")
+	}
+}
+
+func TestMulMaskedOptParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	var triples, mtriples []Triple[float64]
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if r.Float64() < 0.2 {
+				triples = append(triples, Triple[float64]{
+					Row: fmt.Sprintf("k%02d", i), Col: fmt.Sprintf("k%02d", j),
+					Val: float64(1 + r.Intn(9)),
+				})
+			}
+			if r.Float64() < 0.3 {
+				mtriples = append(mtriples, Triple[float64]{
+					Row: fmt.Sprintf("k%02d", i), Col: fmt.Sprintf("k%02d", j), Val: 1,
+				})
+			}
+		}
+	}
+	p := FromTriples(triples, nil)
+	mask, err := FromTriples(mtriples, nil).Reindex(p.RowKeys(), p.ColKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := semiring.PlusTimes()
+	serial, err := MulMasked(p, p, mask, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FlopFloor -1 forces the parallel path even on this small product.
+	par, err := MulMaskedOpt(p, p, mask, ops, MulOptions{Workers: 4, FlopFloor: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Equal(par, value.Float64Equal) {
+		t.Fatal("MulMaskedOpt(Workers:4) differs from serial MulMasked")
+	}
+	// The masked product has no alternative kernels to ablate.
+	if _, err := MulMaskedOpt(p, p, mask, ops, MulOptions{Kernel: "hash"}); err == nil {
+		t.Error("kernel ablation accepted for masked multiplication")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"adjarray/internal/assoc"
 	"adjarray/internal/keys"
 	"adjarray/internal/semiring"
+	"adjarray/internal/stream"
 	"adjarray/internal/value"
 )
 
@@ -135,6 +136,40 @@ func CheckBatchEqualsIncremental(inst Instance, entry semiring.Entry, splits []i
 	if diff := assoc.Diff(want, got, ops.Equal, value.FormatFloat); diff != "" {
 		return fmt.Errorf("conformance: batch==incremental violated for %s on %q (splits %v): %s",
 			entry.Name, inst.Name, inst.Splits, diff)
+	}
+	return nil
+}
+
+// CheckShardedBatchEqualsIncremental extends the batch==incremental law
+// across the shard dimension: replaying the instance through an N-shard
+// scatter-gather view — any N ≥ 1, any split points — must equal the
+// one-shot batch construction. The sharding adds a second re-association
+// axis on top of batching (edges of one source fold inside their shard,
+// the shards ⊕-merge at gather time), but because shards own disjoint
+// source-vertex row sets the merge never combines two values into one
+// cell, so the law needs exactly the same hypothesis as the batched one:
+// ⊕ associative on the instance's value closure. Skipped (nil)
+// otherwise.
+func CheckShardedBatchEqualsIncremental(inst Instance, entry semiring.Entry, shards int, splits []int) error {
+	ops := entry.Ops
+	if !deltaCompatibleOn(ops, valueClosure(ops, inst)) {
+		return nil
+	}
+	if splits != nil {
+		inst.Splits = clampSplits(splits, len(inst.Edges))
+	}
+	eout, ein := inst.Incidence()
+	want, err := assoc.Correlate(eout, ein, ops, assoc.MulOptions{})
+	if err != nil {
+		return fmt.Errorf("conformance: sharded batch==incremental: batch: %w", err)
+	}
+	got, err := replayShardedStream(ops, inst, shards, stream.Options{})
+	if err != nil {
+		return fmt.Errorf("conformance: sharded batch==incremental: %d shards: %w", shards, err)
+	}
+	if diff := assoc.Diff(want, got, ops.Equal, value.FormatFloat); diff != "" {
+		return fmt.Errorf("conformance: sharded batch==incremental violated for %s on %q (%d shards, splits %v): %s",
+			entry.Name, inst.Name, shards, inst.Splits, diff)
 	}
 	return nil
 }

@@ -45,6 +45,18 @@ func TestMetamorphicLaws(t *testing.T) {
 			if err := CheckBatchEqualsIncremental(inst, entry, everyEdge); err != nil {
 				t.Errorf("per-edge splits: %v", err)
 			}
+			// The sharded axis: arbitrary shard counts (including 1, a
+			// degenerate sharded view, and counts exceeding the vertex
+			// count) with the instance's own splits, plus per-edge splits
+			// on a mid-size count.
+			for _, shards := range []int{1, 2, 3, 5, 8} {
+				if err := CheckShardedBatchEqualsIncremental(inst, entry, shards, nil); err != nil {
+					t.Errorf("%d shards: %v", shards, err)
+				}
+			}
+			if err := CheckShardedBatchEqualsIncremental(inst, entry, 4, everyEdge); err != nil {
+				t.Errorf("4 shards per-edge splits: %v", err)
+			}
 		}
 	}
 }

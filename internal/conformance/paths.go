@@ -29,7 +29,7 @@ type Path struct {
 	Build func(eout, ein *assoc.Array[float64], ops semiring.Ops[float64], inst Instance) (*assoc.Array[float64], error)
 }
 
-// builtinPaths covers the six construction paths the repository ships.
+// builtinPaths covers the construction paths the repository ships.
 func builtinPaths() []Path {
 	return []Path{
 		{
@@ -78,6 +78,21 @@ func builtinPaths() []Path {
 			Name:         "stream-interned-parallel",
 			ReAssociates: true,
 			Build:        buildStreamInternedParallel,
+		},
+		{
+			// The goroutine-sharded ingest as a construction path: every
+			// batch scatters by source-vertex hash across 3 per-shard views
+			// (interleaved per-shard appends — a batch's edges land on
+			// different shards in sub-batches), with a gathered snapshot
+			// between batches so each boundary pins an epoch vector and
+			// forces the per-shard folds. The final adjacency is the lazy
+			// cross-shard ⊕-merge. Gates the routing/merge machinery —
+			// including the adversarial keys from the generators (unicode,
+			// NUL, prefix collisions) flowing through the FNV router —
+			// against the dense Definition I.3 oracle.
+			Name:         "stream-sharded",
+			ReAssociates: true,
+			Build:        buildStreamSharded,
 		},
 		{
 			// The durability round trip as a construction path: every batch
@@ -162,6 +177,45 @@ func buildStreamDurableRecovered(_, _ *assoc.Array[float64], ops semiring.Ops[fl
 		return nil, err
 	}
 	return snap.Adjacency, nil
+}
+
+func buildStreamSharded(_, _ *assoc.Array[float64], ops semiring.Ops[float64], inst Instance) (*assoc.Array[float64], error) {
+	return replayShardedStream(ops, inst, 3, stream.Options{
+		// Route the cross-shard merges through the span-parallel kernels
+		// (per-shard folds are forced serial by the sharded view itself —
+		// the shards are already concurrent).
+		Mul: assoc.MulOptions{Workers: 2, FlopFloor: -1},
+	})
+}
+
+// replayShardedStream is replayStream over an N-shard view: identical
+// batch boundaries, but each Append scatters its edges to per-shard
+// sub-batches and each boundary Snapshot pins a full epoch vector.
+func replayShardedStream(ops semiring.Ops[float64], inst Instance, shards int, opt stream.Options) (*assoc.Array[float64], error) {
+	v := stream.NewShardedView(ops, stream.ShardedOptions{Shards: shards, Stream: opt})
+	prev := 0
+	cuts := append(append([]int{}, inst.Splits...), len(inst.Edges))
+	for _, cut := range cuts {
+		if cut <= prev {
+			continue
+		}
+		batch := make([]stream.Edge[float64], cut-prev)
+		for i, e := range inst.Edges[prev:cut] {
+			batch[i] = stream.Weighted(e.Key, e.Src, e.Dst, e.Out, e.In)
+		}
+		if err := v.Append(batch); err != nil {
+			return nil, err
+		}
+		if _, err := v.Snapshot(); err != nil {
+			return nil, err
+		}
+		prev = cut
+	}
+	snap, err := v.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return snap.Adjacency()
 }
 
 func replayStream(ops semiring.Ops[float64], inst Instance, opt stream.Options) (*assoc.Array[float64], error) {

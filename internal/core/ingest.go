@@ -15,9 +15,16 @@ import (
 // to date. It performs the same operator-pair resolution and Theorem
 // II.1 condition analysis as Build, up front, so a pair that cannot
 // guarantee an adjacency array is refused before any edge is accepted.
+//
+// With Shards > 1 the accumulator feeds a stream.ShardedView instead:
+// batches scatter by source-vertex hash across per-shard views (each
+// with its own lock and, when durable, its own WAL/checkpoint
+// directory), and Snapshot gathers the per-shard adjacencies into one
+// merged read view pinned at a consistent epoch vector.
 type Ingest struct {
-	view    *stream.View[float64]
-	durable *stream.DurableView[float64] // nil for in-memory ingests
+	view    *stream.View[float64]        // nil when sharded
+	sharded *stream.ShardedView[float64] // nil for single-view ingests
+	durable *stream.DurableView[float64] // nil for in-memory or sharded ingests
 	batch   []stream.Edge[float64]
 	size    int
 	ops     semiring.Ops[float64]
@@ -33,7 +40,12 @@ type IngestOptions struct {
 	// costs, smaller ones shrink the window in which Add-ed edges are
 	// not yet visible to Snapshot.
 	BatchSize int
-	// Stream tunes the underlying view (compaction, associativity
+	// Shards partitions the ingest across that many goroutine-shards
+	// (route-by-hash on the source vertex). 0 or 1 keeps the classic
+	// single view; < 0 selects GOMAXPROCS. With DataDir set, each shard
+	// owns its own WAL/checkpoint subdirectory.
+	Shards int
+	// Stream tunes the underlying view(s) (compaction, associativity
 	// guard, pending budget).
 	Stream stream.Options
 	// SkipConditionCheck accepts operator pairs that fail the Theorem
@@ -71,7 +83,18 @@ func NewIngest(opt IngestOptions) (*Ingest, error) {
 		ops:   entry.Ops,
 		rep:   report,
 	}
-	if opt.DataDir != "" {
+	sharded := opt.Shards < 0 || opt.Shards > 1
+	switch {
+	case sharded && opt.DataDir != "":
+		sopt := stream.ShardedOptions{Shards: opt.Shards, Stream: opt.Stream}
+		sv, err := stream.OpenSharded(opt.DataDir, entry.Ops, sopt, opt.Durable)
+		if err != nil {
+			return nil, err
+		}
+		in.sharded = sv
+	case sharded:
+		in.sharded = stream.NewShardedView(entry.Ops, stream.ShardedOptions{Shards: opt.Shards, Stream: opt.Stream})
+	case opt.DataDir != "":
 		dopt := opt.Durable
 		dopt.View = opt.Stream
 		d, err := stream.Open(opt.DataDir, entry.Ops, dopt)
@@ -80,7 +103,7 @@ func NewIngest(opt IngestOptions) (*Ingest, error) {
 		}
 		in.durable = d
 		in.view = d.View()
-	} else {
+	default:
 		in.view = stream.NewView(entry.Ops, opt.Stream)
 	}
 	return in, nil
@@ -102,15 +125,19 @@ func (in *Ingest) Add(e stream.Edge[float64]) error {
 // associativity guard) is DROPPED with the returned error — the view
 // applies batches atomically, so none of its edges were ingested, and
 // keeping them buffered would wedge every subsequent Add on the same
-// failure.
+// failure. (A sharded flush is atomic per shard: the error names the
+// shard that rejected its sub-batch.)
 func (in *Ingest) Flush() error {
 	if len(in.batch) == 0 {
 		return nil
 	}
 	var err error
-	if in.durable != nil {
+	switch {
+	case in.sharded != nil:
+		err = in.sharded.Append(in.batch)
+	case in.durable != nil:
 		err = in.durable.Append(in.batch)
-	} else {
+	default:
 		err = in.view.Append(in.batch)
 	}
 	in.batch = in.batch[:0]
@@ -118,27 +145,56 @@ func (in *Ingest) Flush() error {
 }
 
 // Snapshot flushes and returns a consistent read view including every
-// edge Add-ed so far.
+// edge Add-ed so far. For a sharded ingest this is the flattened
+// scatter-gather snapshot: per-shard epochs pinned as one vector, the
+// merged adjacency and incidence logs, and Epoch the sum of the vector;
+// use Sharded().Snapshot() directly when the vector itself is needed.
 func (in *Ingest) Snapshot() (stream.Snapshot[float64], error) {
 	if err := in.Flush(); err != nil {
 		return stream.Snapshot[float64]{}, err
+	}
+	if in.sharded != nil {
+		ss, err := in.sharded.Snapshot()
+		if err != nil {
+			return stream.Snapshot[float64]{}, err
+		}
+		return ss.Merged()
 	}
 	return in.view.Snapshot()
 }
 
 // View exposes the maintained view (for Compact, Stats, or direct
-// Append of pre-batched edges). Edges still buffered in the accumulator
-// are not yet in the view; call Flush first when that matters.
+// Append of pre-batched edges), nil for sharded ingests. Edges still
+// buffered in the accumulator are not yet in the view; call Flush first
+// when that matters.
 func (in *Ingest) View() *stream.View[float64] { return in.view }
 
-// Durable exposes the durability layer, nil for in-memory ingests.
+// Sharded exposes the sharded view, nil for single-view ingests.
+func (in *Ingest) Sharded() *stream.ShardedView[float64] { return in.sharded }
+
+// Durable exposes the single-view durability layer, nil for in-memory
+// or sharded ingests (a sharded ingest's per-shard durability is
+// reported by Sharded().Durability()).
 func (in *Ingest) Durable() *stream.DurableView[float64] { return in.durable }
 
 // Close flushes buffered edges, takes a final covering checkpoint, and
-// releases the log. In-memory ingests are a no-op. The first error is
-// reported, but the log is closed regardless — a failed checkpoint
+// releases the log(s). In-memory ingests are a no-op. The first error
+// is reported, but the log is closed regardless — a failed checkpoint
 // leaves recovery to the previous checkpoint plus the (complete) WAL.
 func (in *Ingest) Close() error {
+	if in.sharded != nil {
+		if !in.sharded.Durable() {
+			return nil
+		}
+		err := in.Flush()
+		if cerr := in.sharded.Checkpoint(); err == nil {
+			err = cerr
+		}
+		if cerr := in.sharded.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
 	if in.durable == nil {
 		return nil
 	}

@@ -1,0 +1,200 @@
+package sparse
+
+import (
+	"adjarray/internal/parallel"
+	"adjarray/internal/semiring"
+)
+
+// MulMaskedParallel is MulMasked on the flop-balanced span scheduler —
+// the last serial-only kernel in this package brought onto the
+// MulParallel machinery. Output rows are independent and each row's
+// fold runs in exactly the serial kernel's order (A-scan outer, B-scan
+// inner, first-hit assign then ⊕, emission in ascending column order
+// with zero pruning), so the result is bit-identical to MulMasked for
+// any ⊕, including non-commutative ones.
+//
+// Scheduling happens twice, because a masked product has two different
+// cost models:
+//
+//   - The SYMBOLIC phase costs what any SpGEMM scan costs: row i scans
+//     Σ_{k∈A(i,:)} nnz(B(k,:)) entries (mask lookups are O(1) stamps).
+//     Its spans come from the same scan-flop prefix MulParallelOpt uses.
+//   - The NUMERIC phase additionally pays ⊗/⊕ only at mask-admitted
+//     positions. The symbolic pass counts those mask-restricted flops
+//     per row as a byproduct of its stamping, and the numeric spans are
+//     re-balanced on scan + masked flops — so a span dense in masked
+//     hits does not serialize a worker while mostly-masked-out spans
+//     finish early.
+//
+// workers < 1 selects GOMAXPROCS; grain caps span sizes as in
+// MulParallel. flopFloor 0 selects DefaultParallelFlopFloor, negative
+// disables the serial fallback; below the floor (measured on scan
+// flops) the serial MulMasked runs instead.
+func MulMaskedParallel[V, M any](a, b *CSR[V], mask *CSR[M], ops semiring.Ops[V], workers, grain int, flopFloor int64) (*CSR[V], error) {
+	if err := checkDims(a, b); err != nil {
+		return nil, err
+	}
+	if mask.rows != a.rows || mask.cols != b.cols {
+		return nil, &ShapeError{ARows: a.rows, ACols: b.cols, BRows: mask.rows, BCols: mask.cols}
+	}
+	w := parallel.Workers(workers, a.rows)
+	if w <= 1 || a.rows == 0 {
+		return MulMasked(a, b, mask, ops)
+	}
+	if flopFloor == 0 {
+		flopFloor = DefaultParallelFlopFloor
+	}
+
+	// Scan-flop prefix: the symbolic load model and serial-fallback
+	// signal. O(nnz(A)).
+	pb := getInt64(a.rows + 1)
+	prefix := pb.xs
+	prefix[0] = 0
+	for i := 0; i < a.rows; i++ {
+		f := int64(0)
+		for _, k := range a.colIdx[a.rowPtr[i]:a.rowPtr[i+1]] {
+			f += int64(b.rowPtr[k+1] - b.rowPtr[k])
+		}
+		prefix[i+1] = prefix[i] + f
+	}
+	if flopFloor > 0 && prefix[a.rows] < flopFloor {
+		putInt64(pb)
+		return MulMasked(a, b, mask, ops)
+	}
+
+	spans := w
+	if grain >= 1 {
+		if s := (a.rows + grain - 1) / grain; s > spans {
+			spans = s
+		}
+		if lim := 16 * w; spans > lim {
+			spans = lim
+		}
+	}
+	bounds := parallel.BalancedSpans(prefix, spans)
+
+	// Symbolic phase: per-row masked output counts into rowPtr slots,
+	// plus the mask-restricted flop count per row (the numeric load
+	// model). Two pooled stamp boxes per span: one holds the row's
+	// admitted mask columns, one is the distinct-output SPA.
+	rowPtr := make([]int, a.rows+1)
+	mb := getInt64(a.rows + 1) // masked-flop prefix, filled per row then summed
+	mflops := mb.xs
+	mflops[0] = 0
+	parallel.ForSpans(bounds, func(s, lo, hi int) {
+		ab := getStampBox(b.cols)
+		sb := getStampBox(b.cols)
+		sym := pooledSym(sb)
+		for i := lo; i < hi; i++ {
+			count, mf := maskedSymbolicRow(a, b, mask, i, ab, sym)
+			rowPtr[i+1] = count
+			mflops[i+1] = mf
+		}
+		sb.current = sym.current
+		putStampBox(sb)
+		putStampBox(ab)
+	})
+	for i := 0; i < a.rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+
+	// Numeric spans re-balanced on the measured cost: the scan the
+	// numeric pass must repeat plus the masked flops it folds.
+	for i := 0; i < a.rows; i++ {
+		scan := prefix[i+1] - prefix[i]
+		mflops[i+1] = mflops[i] + scan + mflops[i+1]
+	}
+	nbounds := parallel.BalancedSpans(mflops, spans)
+	putInt64(pb)
+
+	// Exact single allocation of the output storage.
+	nnz := rowPtr[a.rows]
+	colIdx := make([]int, nnz)
+	val := make([]V, nnz)
+	rowLen := make([]int, a.rows)
+
+	pool := accPoolFor[V]()
+	parallel.ForSpans(nbounds, func(s, lo, hi int) {
+		ab := getStampBox(b.cols)
+		sb := getStampBox(b.cols)
+		vb := getAccBox[V](pool, b.cols)
+		acc := pooledSPA(sb, vb)
+		for i := lo; i < hi; i++ {
+			rowLen[i] = maskedNumericRow(a, b, mask, ops, i, ab, acc, colIdx[rowPtr[i]:rowPtr[i+1]], val[rowPtr[i]:rowPtr[i+1]])
+		}
+		releaseKernelScratch(pool, sb, acc, vb)
+		putStampBox(ab)
+	})
+	putInt64(mb)
+	return finalizeTwoPhase(a.rows, b.cols, rowPtr, rowLen, colIdx, val), nil
+}
+
+// maskedSymbolicRow counts row i's distinct mask-admitted output
+// columns and, as a byproduct of the same scan, the mask-restricted
+// flops (B entries that pass the mask — each one ⊗ and possibly ⊕ in
+// the numeric pass). ab stamps the row's admitted columns; s stamps
+// distinct outputs.
+func maskedSymbolicRow[V, M any](a, b *CSR[V], mask *CSR[M], i int, ab *stampBox, s *symbolicSPA) (count int, mflops int64) {
+	ab.current++
+	allowed, cur := ab.stamp, ab.current
+	mCols, _ := mask.Row(i)
+	for _, j := range mCols {
+		allowed[j] = cur
+	}
+	s.current++
+	stamp, scur := s.stamp, s.current
+	for _, k := range a.colIdx[a.rowPtr[i]:a.rowPtr[i+1]] {
+		for _, j := range b.colIdx[b.rowPtr[k]:b.rowPtr[k+1]] {
+			if allowed[j] != cur {
+				continue
+			}
+			mflops++
+			if stamp[j] != scur {
+				stamp[j] = scur
+				count++
+			}
+		}
+	}
+	return count, mflops
+}
+
+// maskedNumericRow folds row i exactly as the serial MulMasked does and
+// writes the surviving entries in ascending column order into
+// dstCol/dstVal, returning how many were written.
+func maskedNumericRow[V, M any](a, b *CSR[V], mask *CSR[M], ops semiring.Ops[V], i int, ab *stampBox, s *spa[V], dstCol []int, dstVal []V) int {
+	ab.current++
+	allowed, cur := ab.stamp, ab.current
+	mCols, _ := mask.Row(i)
+	for _, j := range mCols {
+		allowed[j] = cur
+	}
+	s.reset()
+	aCols, aVals := a.Row(i)
+	for p, k := range aCols {
+		av := aVals[p]
+		bCols, bVals := b.Row(k)
+		for q, j := range bCols {
+			if allowed[j] != cur {
+				continue
+			}
+			prod := ops.Mul(av, bVals[q])
+			if s.stamp[j] != s.current {
+				s.stamp[j] = s.current
+				s.acc[j] = prod
+				s.touched = append(s.touched, j)
+			} else {
+				s.acc[j] = ops.Add(s.acc[j], prod)
+			}
+		}
+	}
+	sortInts(s.touched)
+	n := 0
+	for _, j := range s.touched {
+		if !ops.IsZero(s.acc[j]) {
+			dstCol[n] = j
+			dstVal[n] = s.acc[j]
+			n++
+		}
+	}
+	return n
+}

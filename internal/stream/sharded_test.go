@@ -1,0 +1,408 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"adjarray/internal/assoc"
+	"adjarray/internal/semiring"
+	"adjarray/internal/wal"
+)
+
+func mustShardSnap[V any](t *testing.T, sv *ShardedView[V]) *ShardedSnapshot[V] {
+	t.Helper()
+	ss, err := sv.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+func mustAdj[V any](t *testing.T, ss *ShardedSnapshot[V]) *assoc.Array[V] {
+	t.Helper()
+	adj, err := ss.Adjacency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adj
+}
+
+// The tentpole property: a sharded replay of any split sequence is
+// bit-identical to the single-view replay AND the one-shot batch
+// construction, for every associative registry pair and several shard
+// counts (including 1, the degenerate routing).
+func TestShardedEqualsSingleViewAcrossPairsAndSplits(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for _, ops := range semiring.Figure3Pairs() {
+		entry, ok := semiring.Lookup(ops.Name)
+		if !ok {
+			t.Fatalf("pair %q not registered", ops.Name)
+		}
+		weights := nonZero(entry.Sample, ops)
+		for _, shards := range []int{1, 2, 3, 5} {
+			edges := randomEdges(r, 70, 11, weights)
+			want := oneShot(t, edges, ops)
+
+			single := NewView(ops, Options{})
+			sv := NewShardedView(ops, ShardedOptions{Shards: shards})
+			for lo := 0; lo < len(edges); {
+				hi := lo + 1 + r.Intn(13)
+				if hi > len(edges) {
+					hi = len(edges)
+				}
+				if err := single.Append(edges[lo:hi]); err != nil {
+					t.Fatalf("%s single append: %v", ops.Name, err)
+				}
+				batch := make([]Edge[float64], hi-lo)
+				copy(batch, edges[lo:hi])
+				if err := sv.Append(batch); err != nil {
+					t.Fatalf("%s/%d shards append: %v", ops.Name, shards, err)
+				}
+				// Snapshot mid-stream too: pins per-shard epochs and
+				// forces materialization at interior boundaries.
+				if hi < len(edges) && r.Intn(3) == 0 {
+					mustShardSnap(t, sv)
+				}
+				lo = hi
+			}
+			got := mustAdj(t, mustShardSnap(t, sv))
+			ref := mustSnap(t, single).Adjacency
+			if !got.Equal(want, eqF) {
+				t.Errorf("%s/%d shards: sharded != one-shot batch", ops.Name, shards)
+			}
+			if !got.Equal(ref, eqF) {
+				t.Errorf("%s/%d shards: sharded != single view", ops.Name, shards)
+			}
+		}
+	}
+}
+
+// The gathered incidence logs span the union edge-key universe in
+// ascending key order — exactly the single view's log layout.
+func TestShardedLogsMatchSingleView(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ops := semiring.PlusTimes()
+	edges := randomEdges(r, 90, 9, []float64{1, 2, 5})
+
+	single := NewView(ops, Options{})
+	sv := NewShardedView(ops, ShardedOptions{Shards: 4})
+	if err := single.Append(edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Append(append([]Edge[float64](nil), edges...)); err != nil {
+		t.Fatal(err)
+	}
+	ref := mustSnap(t, single)
+	eout, ein, err := mustShardSnap(t, sv).Logs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eout.Equal(ref.Eout, eqF) {
+		t.Error("merged Eout != single-view Eout")
+	}
+	if !ein.Equal(ref.Ein, eqF) {
+		t.Error("merged Ein != single-view Ein")
+	}
+	merged, err := mustShardSnap(t, sv).Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Edges != ref.Edges {
+		t.Errorf("merged Edges = %d, want %d", merged.Edges, ref.Edges)
+	}
+	if !merged.Exact {
+		t.Error("disjoint-row merge of exact shards should stay exact")
+	}
+}
+
+// Concurrent producers with auto-assigned keys: the final adjacency
+// must equal the one-shot construction over the edge multiset. The
+// algebra is +.*, so the fold is order-independent and the only thing
+// under test is routing, per-shard locking, and the gather. Run with
+// -race to make the locking claims meaningful.
+func TestShardedConcurrentAppendMatchesBatch(t *testing.T) {
+	ops := semiring.PlusTimes()
+	const producers, batches, per = 4, 12, 16
+	sv := NewShardedView(ops, ShardedOptions{Shards: 3})
+
+	all := make([][]Edge[float64], producers)
+	for p := range all {
+		r := rand.New(rand.NewSource(int64(100 + p)))
+		for b := 0; b < batches; b++ {
+			batch := make([]Edge[float64], per)
+			for i := range batch {
+				batch[i] = Weighted("", // auto key
+					fmt.Sprintf("v%03d", r.Intn(17)),
+					fmt.Sprintf("v%03d", r.Intn(17)), 1.0, 1.0)
+			}
+			all[p] = append(all[p], batch...)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				batch := make([]Edge[float64], per)
+				copy(batch, all[p][b*per:(b+1)*per])
+				if err := sv.Append(batch); err != nil {
+					errs[p] = err
+					return
+				}
+				if b%5 == 0 {
+					if _, err := sv.Snapshot(); err != nil {
+						errs[p] = err
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("producer %d: %v", p, err)
+		}
+	}
+
+	// Keys differ between arms (auto vs explicit), so compare the
+	// adjacency, which never depends on edge keys.
+	var flat []Edge[float64]
+	for p := range all {
+		flat = append(flat, all[p]...)
+	}
+	for i := range flat {
+		flat[i].Key = fmt.Sprintf("e%06d", i)
+	}
+	want := oneShot(t, flat, ops)
+	ss := mustShardSnap(t, sv)
+	if ss.Edges != producers*batches*per {
+		t.Fatalf("Edges = %d, want %d", ss.Edges, producers*batches*per)
+	}
+	if !mustAdj(t, ss).Equal(want, eqF) {
+		t.Error("concurrent sharded ingest != one-shot batch")
+	}
+}
+
+// Snapshots are cached per epoch vector: unchanged vector returns the
+// same snapshot (sharing its lazily merged adjacency); an append to one
+// shard bumps exactly that vector component.
+func TestShardedSnapshotEpochVectorAndCaching(t *testing.T) {
+	ops := semiring.PlusTimes()
+	sv := NewShardedView(ops, ShardedOptions{Shards: 3})
+	if err := sv.Append([]Edge[float64]{
+		Weighted("e0", "a", "b", 1.0, 1.0),
+		Weighted("e1", "b", "c", 1.0, 1.0),
+		Weighted("e2", "c", "d", 1.0, 1.0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s1 := mustShardSnap(t, sv)
+	if len(s1.Epochs) != 3 {
+		t.Fatalf("epoch vector length %d, want 3", len(s1.Epochs))
+	}
+	if s2 := mustShardSnap(t, sv); s2 != s1 {
+		t.Error("unchanged epoch vector must return the cached snapshot")
+	}
+
+	target := sv.ShardFor("zz")
+	if err := sv.Append([]Edge[float64]{Weighted("e3", "zz", "a", 1.0, 1.0)}); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustShardSnap(t, sv)
+	if s3 == s1 {
+		t.Fatal("append must invalidate the cached snapshot")
+	}
+	for i := range s3.Epochs {
+		want := s1.Epochs[i]
+		if i == target {
+			want++
+		}
+		if s3.Epochs[i] != want {
+			t.Errorf("epoch[%d] = %d, want %d", i, s3.Epochs[i], want)
+		}
+	}
+	// The older snapshot stays pinned at its vector.
+	if got := mustAdj(t, s1).NNZ(); got != 3 {
+		t.Errorf("pinned snapshot mutated: nnz %d, want 3", got)
+	}
+}
+
+// Stats aggregates per-shard counters; edge totals and epoch vector
+// agree with the snapshot.
+func TestShardedStats(t *testing.T) {
+	ops := semiring.PlusTimes()
+	sv := NewShardedView(ops, ShardedOptions{Shards: 2})
+	edges := randomEdges(rand.New(rand.NewSource(5)), 40, 8, []float64{1, 2})
+	if err := sv.Append(edges); err != nil {
+		t.Fatal(err)
+	}
+	ss := mustShardSnap(t, sv)
+	st := sv.Stats()
+	if st.Shards != 2 || st.Edges != 40 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	for i, e := range st.Epochs {
+		if e != ss.Epochs[i] {
+			t.Errorf("Stats.Epochs[%d] = %d, snapshot %d", i, e, ss.Epochs[i])
+		}
+	}
+	if len(st.PerShard) != 2 || st.PerShard[0].Edges+st.PerShard[1].Edges != 40 {
+		t.Errorf("per-shard breakdown inconsistent: %+v", st.PerShard)
+	}
+}
+
+// Durable sharded views recover bit-identically: append across
+// checkpoint and WAL-tail territory, abort (simulated crash), reopen
+// with the recorded shard count, and compare against a single view.
+// Auto keys must continue from the recovered per-shard sequences.
+func TestShardedDurableRecoveryMatchesSingleView(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	ops := semiring.PlusTimes()
+	dir := t.TempDir()
+	dopt := DurableOptions[float64]{WAL: wal.Options{Policy: wal.SyncNever}}
+
+	sv, err := OpenSharded(filepath.Join(dir, "store"), ops, ShardedOptions{Shards: 3}, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := randomEdges(r, 60, 10, []float64{1, 2, 3})
+	single := NewView(ops, Options{})
+	if err := single.Append(edges); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sv.Append(append([]Edge[float64](nil), edges[:25]...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Append(append([]Edge[float64](nil), edges[25:]...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sv.Abort() // crash: checkpoint covers a prefix, WAL tails carry the rest
+
+	// Shards <= 0 adopts the recorded count from the SHARDS meta file.
+	rec, err := OpenSharded(filepath.Join(dir, "store"), ops, ShardedOptions{}, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Shards() != 3 {
+		t.Fatalf("recovered %d shards, want 3", rec.Shards())
+	}
+	if got := mustAdj(t, mustShardSnap(t, rec)); !got.Equal(mustSnap(t, single).Adjacency, eqF) {
+		t.Fatal("recovered sharded adjacency != single view")
+	}
+	replayed := 0
+	for _, ri := range rec.Recovery() {
+		replayed += ri.Replayed
+	}
+	if replayed == 0 {
+		t.Error("expected WAL-tail replay on at least one shard")
+	}
+
+	// Auto keys after recovery must extend, not collide with, the
+	// recovered per-shard sequences.
+	more := make([]Edge[float64], 30)
+	for i := range more {
+		more[i] = Weighted("", fmt.Sprintf("v%03d", r.Intn(10)), fmt.Sprintf("v%03d", r.Intn(10)), 2.0, 3.0)
+	}
+	if err := rec.Append(more); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	withAuto := append(append([]Edge[float64](nil), edges...), more...)
+	for i := range withAuto {
+		withAuto[i].Key = fmt.Sprintf("e%06d", i)
+	}
+	if got := mustAdj(t, mustShardSnap(t, rec)); !got.Equal(oneShot(t, withAuto, ops), eqF) {
+		t.Fatal("post-recovery appends diverge from batch oracle")
+	}
+}
+
+// Auto-keyed durable ingest replays identically: keys are assigned
+// BEFORE the WAL record is written, so recovery sees explicit keys and
+// the regenerated sequences continue where the log ended.
+func TestShardedDurableAutoKeysRecoverExactly(t *testing.T) {
+	ops := semiring.PlusTimes()
+	dir := filepath.Join(t.TempDir(), "store")
+	dopt := DurableOptions[float64]{WAL: wal.Options{Policy: wal.SyncNever}}
+	sv, err := OpenSharded(dir, ops, ShardedOptions{Shards: 2}, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(8))
+	batch := make([]Edge[float64], 50)
+	for i := range batch {
+		batch[i] = Weighted("", fmt.Sprintf("v%02d", r.Intn(7)), fmt.Sprintf("v%02d", r.Intn(7)), 1.0, 2.0)
+	}
+	if err := sv.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := mustAdj(t, mustShardSnap(t, sv))
+	sv.Abort()
+
+	rec, err := OpenSharded(dir, ops, ShardedOptions{}, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := mustAdj(t, mustShardSnap(t, rec)); !got.Equal(want, eqF) {
+		t.Fatal("auto-keyed recovery diverged")
+	}
+	eout, _, err := mustShardSnap(t, rec).Logs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eout.RowKeys().Len() != 50 {
+		t.Fatalf("recovered %d log rows, want 50", eout.RowKeys().Len())
+	}
+}
+
+// Reopening with an explicit mismatching shard count is refused — it
+// would silently re-partition the vertex space.
+func TestOpenShardedCountMismatchRefused(t *testing.T) {
+	ops := semiring.PlusTimes()
+	dir := filepath.Join(t.TempDir(), "store")
+	dopt := DurableOptions[float64]{WAL: wal.Options{Policy: wal.SyncNever}}
+	sv, err := OpenSharded(dir, ops, ShardedOptions{Shards: 2}, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSharded(dir, ops, ShardedOptions{Shards: 4}, dopt); err == nil {
+		t.Fatal("shard-count mismatch must be refused")
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, shardMetaFile)); err != nil || string(data) != "2\n" {
+		t.Fatalf("SHARDS meta = %q, %v", data, err)
+	}
+}
+
+// Routing is a fixed function of the source vertex: stable across view
+// instances (unlike the interner's per-process maphash).
+func TestShardRoutingDeterministic(t *testing.T) {
+	a := NewShardedView(semiring.PlusTimes(), ShardedOptions{Shards: 4})
+	b := NewShardedView(semiring.PlusTimes(), ShardedOptions{Shards: 4})
+	for i := 0; i < 200; i++ {
+		src := fmt.Sprintf("vertex-%d", i)
+		if a.ShardFor(src) != b.ShardFor(src) {
+			t.Fatalf("routing for %q differs across instances", src)
+		}
+	}
+}
