@@ -22,22 +22,31 @@
 // vector. -shards 1 keeps the classic single view.
 //
 // With -serve the process answers HTTP queries from live snapshots
-// while ingesting:
+// while ingesting (see internal/serve, the production front door):
 //
 //	GET /stats               ingest counters (JSON; per-shard breakdown when sharded)
 //	GET /healthz             liveness + durability position (fsync epoch, WAL lag)
+//	GET /metrics             Prometheus text exposition (latency histograms, epochs, WAL lag, admission)
 //	GET /at?src=a&dst=b      one adjacency entry
 //	GET /row?src=a           one row of the adjacency array
-//	GET /triples?limit=n     adjacency triples, capped (default 10000)
+//	GET /triples?limit=n     adjacency triples, capped (default 10000, clamped to -triples-max)
 //	GET /bfs?src=a           breadth-first levels from a   (CSR kernels)
 //	GET /sssp?src=a          min.+ shortest-path distances from a
 //	GET /widest?src=a        max.min bottleneck widths from a
 //	GET /pagerank?damping=&tol=&iters=   damped PageRank of the pattern
 //	GET /triangles           triangle count (symmetric patterns)
+//	POST /batch              many ops against one pinned snapshot ({"ops":[...]})
 //
 // Algorithm queries run on the CSR-native kernels over a Graph built
 // from the current snapshot and cached per epoch vector, so a burst of
 // queries against an unchanged graph pays the id-space embedding once.
+//
+// Serving is overload-safe: cheap point reads and expensive algorithm
+// queries run in separate bounded worker pools (-read-workers,
+// -algo-workers) with queue-depth admission control (-read-queue,
+// -algo-queue); excess load is shed as 429 + Retry-After instead of
+// piling up goroutines. cmd/loadgen drives SLO curves against this
+// front door.
 //
 // With -data-dir the store is durable: on start the view is recovered
 // from the newest valid checkpoint plus a WAL replay (the recovered and
@@ -62,28 +71,22 @@ package main
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
-	"slices"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
-	"adjarray/internal/algo"
-	"adjarray/internal/assoc"
 	"adjarray/internal/core"
-	"adjarray/internal/keys"
+	"adjarray/internal/serve"
 	"adjarray/internal/stream"
 	"adjarray/internal/value"
 	"adjarray/internal/wal"
@@ -105,6 +108,30 @@ type config struct {
 	fsync         string
 	fsyncInterval time.Duration
 	ckptEvery     int
+
+	// Front-door tuning (see internal/serve.Options).
+	readWorkers int
+	readQueue   int
+	algoWorkers int
+	algoQueue   int
+	retryAfter  time.Duration
+	triplesMax  int
+	maxIters    int
+	batchMaxOps int
+}
+
+// serveOptions maps the flags onto the front-door options.
+func (cfg config) serveOptions() serve.Options {
+	return serve.Options{
+		TriplesMax:  cfg.triplesMax,
+		MaxIters:    cfg.maxIters,
+		MaxBatchOps: cfg.batchMaxOps,
+		ReadWorkers: cfg.readWorkers,
+		ReadQueue:   cfg.readQueue,
+		AlgoWorkers: cfg.algoWorkers,
+		AlgoQueue:   cfg.algoQueue,
+		RetryAfter:  cfg.retryAfter,
+	}
 }
 
 func main() {
@@ -123,6 +150,14 @@ func main() {
 	flag.StringVar(&cfg.fsync, "fsync", "batch", "WAL fsync policy: batch (sync every append), interval, or off")
 	flag.DurationVar(&cfg.fsyncInterval, "fsync-interval", 100*time.Millisecond, "sync cadence for -fsync interval")
 	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", 256, "background checkpoint after this many batches (0 = only at shutdown)")
+	flag.IntVar(&cfg.readWorkers, "read-workers", 0, "concurrent cheap reads (/at, /row, /triples); 0 = default 64")
+	flag.IntVar(&cfg.readQueue, "read-queue", 0, "cheap reads that may wait for a worker before shedding 429; 0 = default 256, negative = no queue")
+	flag.IntVar(&cfg.algoWorkers, "algo-workers", 0, "concurrent algorithm queries (/bfs, /pagerank, /batch, ...); 0 = GOMAXPROCS")
+	flag.IntVar(&cfg.algoQueue, "algo-queue", 0, "algorithm queries that may wait before shedding 429; 0 = 4x workers, negative = no queue")
+	flag.DurationVar(&cfg.retryAfter, "retry-after", time.Second, "Retry-After hint on shed (429) responses")
+	flag.IntVar(&cfg.triplesMax, "triples-max", 0, "hard clamp on /triples ?limit; 0 = default 100000")
+	flag.IntVar(&cfg.maxIters, "max-iters", 0, "server bound on /pagerank ?iters; 0 = default 1000")
+	flag.IntVar(&cfg.batchMaxOps, "batch-max-ops", 0, "ops allowed per POST /batch request; 0 = default 256")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -210,7 +245,7 @@ func run(cfg config) error {
 	if cfg.serve != "" {
 		srv = &http.Server{
 			Addr:    cfg.serve,
-			Handler: handler(ing),
+			Handler: serve.New(ing, cfg.serveOptions()),
 			// Slow or stalled clients must not pin serving goroutines (or
 			// hold snapshot memory) forever.
 			ReadHeaderTimeout: 5 * time.Second,
@@ -475,293 +510,9 @@ func parseEdge(line string, keyed bool) (stream.Edge[float64], error) {
 	return e, nil
 }
 
-// takeSnapshot pins one consistent read: the adjacency plus the epoch
-// vector it was pinned at. A single view reports a one-element vector;
-// a sharded view gathers the per-shard adjacencies (cached per vector,
-// so repeated queries between appends share one merge).
-func takeSnapshot(ing *core.Ingest) (*assoc.Array[float64], []int, bool, error) {
-	if sv := ing.Sharded(); sv != nil {
-		ss, err := sv.Snapshot()
-		if err != nil {
-			return nil, nil, false, err
-		}
-		adj, err := ss.Adjacency()
-		if err != nil {
-			return nil, nil, false, err
-		}
-		return adj, ss.Epochs, ss.Exact, nil
-	}
-	snap, err := ing.View().Snapshot()
-	if err != nil {
-		return nil, nil, false, err
-	}
-	return snap.Adjacency, []int{snap.Epoch}, snap.Exact, nil
-}
-
-// epochFields stamps a response with its consistency token: the pinned
-// epoch vector plus the scalar sum (a single scalar for clients that
-// only order responses; the vector is the token queries were answered
-// at — every field of one response reflects shard i at exactly
-// epochs[i]).
-func epochFields(m map[string]any, epochs []int) map[string]any {
-	sum := 0
-	for _, e := range epochs {
-		sum += e
-	}
-	m["epoch"] = sum
-	m["epochs"] = epochs
-	return m
-}
-
-// graphCache memoizes the CSR-native algo.Graph per snapshot epoch
-// vector: algorithm queries between ingest batches reuse one id-space
-// embedding (and its lazily built transpose) instead of rebuilding per
-// request. The vector is the cache key, so a sharded graph rebuilds
-// exactly when some shard advanced.
-type graphCache struct {
-	mu     sync.Mutex
-	epochs []int
-	g      *algo.Graph
-	exact  bool
-}
-
-func (c *graphCache) get(ing *core.Ingest) (*algo.Graph, []int, bool, error) {
-	adj, epochs, exact, err := takeSnapshot(ing)
-	if err != nil {
-		return nil, nil, false, err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.g == nil || !slices.Equal(c.epochs, epochs) {
-		g, err := algo.FromArray(adj)
-		if err != nil {
-			return nil, nil, false, err
-		}
-		c.g, c.epochs, c.exact = g, epochs, exact
-	}
-	return c.g, c.epochs, c.exact, nil
-}
-
-// triplesCap is the default (and maximum-less) /triples row budget; a
-// large graph must not OOM the serving process because one client asked
-// for everything.
-const triplesCap = 10000
-
-// handler builds the snapshot-query mux. Every request takes its own
-// snapshot: O(1) unless appends happened since the last read, and never
-// blocked by ingest for longer than the pending fold (sharded: the
-// per-shard folds plus one cached gather).
+// handler builds the default production front door over ing — run()
+// uses serve.New directly with the flag-derived options; this helper
+// keeps the cmd-level integration tests on the default configuration.
 func handler(ing *core.Ingest) http.Handler {
-	mux := http.NewServeMux()
-	writeJSON := func(w http.ResponseWriter, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(v); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	}
-	// JSON has no ±Inf/NaN, but the tropical algebras store them as
-	// ordinary values (an unweighted max.min edge is width +Inf); render
-	// non-finite floats with the library's FormatFloat convention.
-	safeFloat := func(v float64) any {
-		if math.IsInf(v, 0) || math.IsNaN(v) {
-			return value.FormatFloat(v)
-		}
-		return v
-	}
-	safeFloatMap := func(m map[string]float64) map[string]any {
-		out := make(map[string]any, len(m))
-		for k, v := range m {
-			out[k] = safeFloat(v)
-		}
-		return out
-	}
-	snapshot := func(w http.ResponseWriter) (*assoc.Array[float64], []int, bool, bool) {
-		adj, epochs, exact, err := takeSnapshot(ing)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return nil, nil, false, false
-		}
-		return adj, epochs, exact, true
-	}
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		if sv := ing.Sharded(); sv != nil {
-			writeJSON(w, sv.Stats())
-			return
-		}
-		writeJSON(w, ing.View().Stats())
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		resp := map[string]any{"ok": true, "durable": false}
-		if sv := ing.Sharded(); sv != nil {
-			resp["shards"] = sv.Shards()
-			if durs := sv.Durability(); durs != nil {
-				epochs := make([]uint64, len(durs))
-				durable := make([]uint64, len(durs))
-				lag := uint64(0)
-				for i, st := range durs {
-					epochs[i] = st.Epoch
-					durable[i] = st.DurableEpoch
-					lag += st.WALLag
-				}
-				resp["durable"] = true
-				resp["epochs"] = epochs
-				resp["durable_epochs"] = durable
-				resp["wal_lag"] = lag // batches across all shards a crash right now would lose
-				resp["fsync_policy"] = durs[0].Policy
-			}
-		} else if d := ing.Durable(); d != nil {
-			st := d.Durability()
-			resp["durable"] = true
-			resp["epoch"] = st.Epoch
-			resp["durable_epoch"] = st.DurableEpoch // last batch on stable storage (fsync or checkpoint)
-			resp["wal_lag"] = st.WALLag
-			resp["checkpoint_seq"] = st.CheckpointSeq
-			resp["fsync_policy"] = st.Policy
-		}
-		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/at", func(w http.ResponseWriter, r *http.Request) {
-		src, dst := r.URL.Query().Get("src"), r.URL.Query().Get("dst")
-		if src == "" || dst == "" {
-			http.Error(w, "want ?src=...&dst=...", http.StatusBadRequest)
-			return
-		}
-		adj, epochs, _, ok := snapshot(w)
-		if !ok {
-			return
-		}
-		val, stored := adj.At(src, dst)
-		writeJSON(w, epochFields(map[string]any{"src": src, "dst": dst, "value": safeFloat(val), "stored": stored}, epochs))
-	})
-	mux.HandleFunc("/row", func(w http.ResponseWriter, r *http.Request) {
-		src := r.URL.Query().Get("src")
-		if src == "" {
-			http.Error(w, "want ?src=...", http.StatusBadRequest)
-			return
-		}
-		adj, epochs, _, ok := snapshot(w)
-		if !ok {
-			return
-		}
-		row := map[string]any{}
-		adj.SubRef(keys.Range{Lo: src, Hi: src}, nil).Iterate(func(_, d string, v float64) {
-			row[d] = safeFloat(v)
-		})
-		writeJSON(w, epochFields(map[string]any{"src": src, "row": row}, epochs))
-	})
-	mux.HandleFunc("/triples", func(w http.ResponseWriter, r *http.Request) {
-		limit := triplesCap
-		if s := r.URL.Query().Get("limit"); s != "" {
-			n, err := strconv.Atoi(s)
-			if err != nil || n <= 0 {
-				http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
-				return
-			}
-			limit = n
-		}
-		adj, epochs, exact, ok := snapshot(w)
-		if !ok {
-			return
-		}
-		total := adj.NNZ()
-		// Collect through Iterate so memory is O(limit), never O(nnz):
-		// the cap must protect the process, not just the response size.
-		prealloc := limit
-		if total < prealloc {
-			prealloc = total
-		}
-		rows := make([]map[string]any, 0, prealloc)
-		adj.Iterate(func(rk, ck string, v float64) {
-			if len(rows) < limit {
-				rows = append(rows, map[string]any{"row": rk, "col": ck, "val": safeFloat(v)})
-			}
-		})
-		writeJSON(w, epochFields(map[string]any{
-			"triples": rows, "total": total, "truncated": total > limit, "exact": exact,
-		}, epochs))
-	})
-
-	// Algorithm endpoints: CSR-native kernels over the per-epoch-vector
-	// cached Graph. A source that is not a vertex is the client's error
-	// (404); an algorithm refusing the instance (asymmetric triangles,
-	// no fixpoint) is 422.
-	cache := &graphCache{}
-	algoQuery := func(w http.ResponseWriter, compute func(g *algo.Graph) (any, error)) {
-		g, epochs, exact, err := cache.get(ing)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		res, err := compute(g)
-		if err != nil {
-			status := http.StatusUnprocessableEntity
-			if errors.Is(err, algo.ErrNotVertex) {
-				status = http.StatusNotFound
-			}
-			http.Error(w, err.Error(), status)
-			return
-		}
-		writeJSON(w, epochFields(map[string]any{"result": res, "exact": exact}, epochs))
-	}
-	sourceQuery := func(run func(g *algo.Graph, src string) (any, error)) http.HandlerFunc {
-		return func(w http.ResponseWriter, r *http.Request) {
-			src := r.URL.Query().Get("src")
-			if src == "" {
-				http.Error(w, "want ?src=...", http.StatusBadRequest)
-				return
-			}
-			algoQuery(w, func(g *algo.Graph) (any, error) { return run(g, src) })
-		}
-	}
-	mux.HandleFunc("/bfs", sourceQuery(func(g *algo.Graph, src string) (any, error) {
-		return g.BFSLevels(src)
-	}))
-	mux.HandleFunc("/sssp", sourceQuery(func(g *algo.Graph, src string) (any, error) {
-		dist, err := g.SSSP(src)
-		if err != nil {
-			return nil, err
-		}
-		return safeFloatMap(dist), nil
-	}))
-	mux.HandleFunc("/widest", sourceQuery(func(g *algo.Graph, src string) (any, error) {
-		width, err := g.WidestPath(src)
-		if err != nil {
-			return nil, err
-		}
-		return safeFloatMap(width), nil
-	}))
-	mux.HandleFunc("/triangles", func(w http.ResponseWriter, r *http.Request) {
-		algoQuery(w, func(g *algo.Graph) (any, error) { return g.TriangleCount() })
-	})
-	mux.HandleFunc("/pagerank", func(w http.ResponseWriter, r *http.Request) {
-		damping, tol, iters := 0.85, 1e-9, 100
-		q := r.URL.Query()
-		var err error
-		if s := q.Get("damping"); s != "" {
-			if damping, err = strconv.ParseFloat(s, 64); err != nil {
-				http.Error(w, "bad damping", http.StatusBadRequest)
-				return
-			}
-		}
-		if s := q.Get("tol"); s != "" {
-			if tol, err = strconv.ParseFloat(s, 64); err != nil {
-				http.Error(w, "bad tol", http.StatusBadRequest)
-				return
-			}
-		}
-		if s := q.Get("iters"); s != "" {
-			if iters, err = strconv.Atoi(s); err != nil || iters <= 0 {
-				http.Error(w, "bad iters", http.StatusBadRequest)
-				return
-			}
-		}
-		algoQuery(w, func(g *algo.Graph) (any, error) {
-			rank, used, err := g.PageRank(damping, tol, iters)
-			if err != nil {
-				return nil, err
-			}
-			return map[string]any{"rank": rank, "iterations": used}, nil
-		})
-	})
-	return mux
+	return serve.New(ing, serve.Options{})
 }

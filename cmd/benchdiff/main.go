@@ -34,6 +34,11 @@ type row struct {
 	BuildNs   int64  `json:"build_ns"`
 	AllocsOp  int64  `json:"allocs_per_op"`
 	BytesOp   int64  `json:"bytes_per_op"`
+	// Latency percentiles, present in loadgen baselines (BENCH_7+):
+	// build_ns carries p50 there so the shared delta column works, and
+	// the tail gets its own column.
+	P99Ns  int64 `json:"p99_ns,omitempty"`
+	P999Ns int64 `json:"p999_ns,omitempty"`
 }
 
 type baseline struct {
@@ -104,9 +109,15 @@ func main() {
 		if o.AllocsOp > 0 || n.AllocsOp > 0 {
 			alloc = fmt.Sprintf("%d→%d", o.AllocsOp, n.AllocsOp)
 		}
-		rows = append(rows, []string{k, ms(o.BuildNs), ms(n.BuildNs), delta, alloc})
+		// Serving-latency rows (loadgen baselines) also carry the tail;
+		// build-benchmark rows leave the column empty.
+		p99 := ""
+		if o.P99Ns > 0 && n.P99Ns > 0 {
+			p99 = fmt.Sprintf("%s→%s", ms(o.P99Ns), ms(n.P99Ns))
+		}
+		rows = append(rows, []string{k, ms(o.BuildNs), ms(n.BuildNs), delta, p99, alloc})
 	}
-	fmt.Print(render.Columns([]string{"configuration", "old", "new", "delta", "allocs_op"}, rows))
+	fmt.Print(render.Columns([]string{"configuration", "old", "new", "delta", "p99", "allocs_op"}, rows))
 
 	report := func(label string, only map[string]row, other map[string]row) {
 		var ks []string

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Smoke: a short self-serve run against an in-process front door must
+// answer every endpoint in the mix, and the emitted baseline must be
+// valid benchdiff input (graphbench schema, one row per endpoint, with
+// a monotone percentile curve).
+func TestLoadgenSmokeSelfServe(t *testing.T) {
+	cfg := config{
+		scale:      7,
+		edgeFactor: 8,
+		seed:       42,
+		rate:       1500,
+		duration:   1200 * time.Millisecond,
+		maxOut:     128,
+		zipfS:      1.2,
+		batchOps:   4,
+	}
+	sum, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.offered == 0 {
+		t.Fatal("no requests offered")
+	}
+	if sum.vertices == 0 || sum.edges == 0 || sum.nnz == 0 {
+		t.Fatalf("self-serve graph info empty: %+v", sum)
+	}
+	answered := 0
+	for _, r := range sum.results() {
+		if r.err > 0 {
+			t.Errorf("%s: %d errors", r.endpoint, r.err)
+		}
+		if r.count == 0 {
+			t.Errorf("%s: no successful requests in a %s run", r.endpoint, cfg.duration)
+		}
+		if r.p50 > r.p99 || r.p99 > r.p999 {
+			t.Errorf("%s: percentiles not monotone: %v %v %v", r.endpoint, r.p50, r.p99, r.p999)
+		}
+		answered += r.count + r.shed + r.err
+	}
+	if answered+sum.dropped != sum.offered {
+		t.Fatalf("answered %d + dropped %d != offered %d", answered, sum.dropped, sum.offered)
+	}
+	if sum.table() == "" {
+		t.Fatal("empty table")
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := sum.writeJSON(path, time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b jsonBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if len(b.Rows) != len(mix) {
+		t.Fatalf("baseline has %d rows, want %d", len(b.Rows), len(mix))
+	}
+	for _, r := range b.Rows {
+		if r.Generator != "serve-rmat-s7" || r.Semiring != "+.*" || r.Backend == "" || r.Workers == 0 {
+			t.Fatalf("malformed row: %+v", r)
+		}
+		if r.BuildNs != r.P50Ns || r.P50Ns <= 0 {
+			t.Fatalf("build_ns must carry p50 for benchdiff: %+v", r)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 5}, {0.99, 10}, {0.999, 10}, {0.1, 1}, {1.0, 10}} {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+	if got := percentile([]time.Duration{7}, 0.999); got != 7 {
+		t.Errorf("percentile(single) = %v, want 7", got)
+	}
+}
+
+func TestBatchBody(t *testing.T) {
+	body := batchBody(5, func() string { return "v000001" })
+	var req struct {
+		Ops []map[string]any `json:"ops"`
+	}
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Ops) != 5 {
+		t.Fatalf("ops = %d, want 5", len(req.Ops))
+	}
+	for _, op := range req.Ops {
+		switch op["op"] {
+		case "at", "row", "bfs":
+		default:
+			t.Fatalf("unexpected op %v", op["op"])
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := run(config{rate: 0, duration: time.Second, zipfS: 1.2}); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := run(config{rate: 100, duration: time.Second, zipfS: 1.0}); err == nil {
+		t.Error("zipf-s 1.0 accepted")
+	}
+}

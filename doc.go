@@ -49,7 +49,13 @@
 //     append locks, and — durable — WAL/checkpoint directories), with
 //     snapshots pinned to a per-shard epoch vector and lazily ⊕-merged
 //     at gather time, bit-identical to the single-view path because
-//     shards own disjoint adjacency rows.
+//     shards own disjoint adjacency rows;
+//   - production serving: internal/serve is cmd/adjserve's front door —
+//     Prometheus-style GET /metrics (dependency-free internal/obs),
+//     bounded admission pools per endpoint class shedding overload as
+//     429 + Retry-After, and POST /batch answering many ops from one
+//     pinned snapshot; cmd/loadgen drives it with open-model zipfian
+//     load and records per-endpoint latency percentiles (BENCH_7.json).
 //
 // # Batch and incremental construction
 //

@@ -134,6 +134,16 @@ func (a *Array[V]) Iterate(fn func(row, col string, v V)) {
 	})
 }
 
+// IterateUntil visits stored entries in row-major key order until fn
+// returns false, and reports whether the sweep ran to completion — the
+// early-exit path for bounded reads (a server answering ?limit=1 must
+// not walk every entry).
+func (a *Array[V]) IterateUntil(fn func(row, col string, v V) bool) bool {
+	return a.mat.IterateUntil(func(i, j int, v V) bool {
+		return fn(a.rows.Key(i), a.cols.Key(j), v)
+	})
+}
+
 // Equal reports whether two arrays have identical key sets and entries.
 func (a *Array[V]) Equal(b *Array[V], eq func(V, V) bool) bool {
 	return a.rows.Equal(b.rows) && a.cols.Equal(b.cols) && sparse.Equal(a.mat, b.mat, eq)

@@ -107,6 +107,23 @@ func TestIterateOrder(t *testing.T) {
 	}
 }
 
+func TestIterateUntilEarlyExit(t *testing.T) {
+	var seen []string
+	done := tiny().IterateUntil(func(r, c string, v float64) bool {
+		seen = append(seen, r+"/"+c)
+		return len(seen) < 2
+	})
+	if done {
+		t.Error("IterateUntil reported completion after an early stop")
+	}
+	if strings.Join(seen, " ") != "r1/c1 r1/c2" {
+		t.Errorf("IterateUntil visited %v, want first two entries in key order", seen)
+	}
+	if !tiny().IterateUntil(func(string, string, float64) bool { return true }) {
+		t.Error("full sweep reported early stop")
+	}
+}
+
 func TestEqualAndPattern(t *testing.T) {
 	a := tiny()
 	if !a.Equal(tiny(), eqF) {

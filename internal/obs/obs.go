@@ -1,0 +1,367 @@
+// Package obs is a small, dependency-free metrics kit for the serving
+// layer: counters, gauges, and fixed-bucket histograms collected in a
+// Registry and exposed in the Prometheus text format (version 0.0.4).
+//
+// The package exists because the repo bakes in no third-party modules:
+// it implements exactly the subset of the Prometheus client the front
+// door needs — atomic instruments, label sets, pull-time callback
+// metrics for values that live elsewhere (view epochs, WAL lag), and a
+// text exposition handler — and nothing more. All instruments are safe
+// for concurrent use; Observe/Inc/Add are lock-free.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// DefBuckets are latency histogram bounds in seconds, exponential from
+// 100µs to 10s — wide enough to cover a point read and a cold PageRank.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n; negative deltas are ignored
+// (counters are monotone by definition).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer, name string, labels []Label) {
+	fmt.Fprintf(w, "%s%s %d\n", name, renderLabels(labels), c.v.Load())
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (CAS loop; safe concurrently).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, name string, labels []Label) {
+	fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(labels), fmtFloat(g.Value()))
+}
+
+// funcMetric reads its value at exposition time — for positions owned
+// by another subsystem (view epoch, WAL lag, queue depth).
+type funcMetric struct{ fn func() float64 }
+
+func (f *funcMetric) write(w io.Writer, name string, labels []Label) {
+	fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(labels), fmtFloat(f.fn()))
+}
+
+// Histogram counts observations into fixed buckets (cumulative `le`
+// exposition) and tracks their sum and count.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Uint64  // float64 bits, CAS-updated
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) write(w io.Writer, name string, labels []Label) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := append(append([]Label(nil), labels...), Label{"le", fmtFloat(b)})
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(le), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	inf := append(append([]Label(nil), labels...), Label{"le", "+Inf"})
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(inf), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(labels), fmtFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels), h.count.Load())
+}
+
+type metric interface {
+	write(w io.Writer, name string, labels []Label)
+}
+
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type series struct {
+	labels []Label
+	key    string
+	m      metric
+}
+
+type family struct {
+	name, help string
+	kind       kind
+	series     []*series
+	byKey      map[string]*series
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter returns the counter for name+labels, creating it on first
+// use. Re-requesting the same series returns the same instrument, so
+// hot paths may call this per request (one mutex + map lookup).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.metric(name, help, counterKind, labels, func() metric { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic("obs: " + name + " is registered as a callback counter")
+	}
+	return c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.metric(name, help, gaugeKind, labels, func() metric { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic("obs: " + name + " is registered as a callback gauge")
+	}
+	return g
+}
+
+// Histogram returns the histogram for name+labels, creating it with
+// the given ascending bucket bounds on first use (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	m := r.metric(name, help, histogramKind, labels, func() metric {
+		return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic("obs: " + name + " is not a histogram")
+	}
+	return h
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at
+// exposition time. Registering the same series again replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.replaceFunc(name, help, gaugeKind, fn, labels)
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — for monotone positions maintained elsewhere
+// (epochs, edge counts). Registering the same series replaces fn.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.replaceFunc(name, help, counterKind, fn, labels)
+}
+
+func (r *Registry) replaceFunc(name, help string, k kind, fn func() float64, labels []Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, k)
+	key := renderLabels(labels)
+	if s, ok := f.byKey[key]; ok {
+		if _, isFn := s.m.(*funcMetric); !isFn {
+			panic("obs: " + name + key + " is registered as a direct instrument")
+		}
+		s.m = &funcMetric{fn: fn}
+		return
+	}
+	s := &series{labels: labels, key: key, m: &funcMetric{fn: fn}}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+}
+
+func (r *Registry) metric(name, help string, k kind, labels []Label, mk func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, k)
+	key := renderLabels(labels)
+	if s, ok := f.byKey[key]; ok {
+		return s.m
+	}
+	s := &series{labels: sortLabels(labels), key: key, m: mk()}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s.m
+}
+
+func (r *Registry) familyLocked(name, help string, k kind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, byKey: map[string]*series{}}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: %s registered as both %s and %s", name, f.kind, k))
+	}
+	return f
+}
+
+// WriteText renders every family in the Prometheus text format,
+// families sorted by name and series by label set, so output is
+// deterministic for tests and diffable for humans.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	// Snapshot the series lists so exposition does not hold the
+	// registry lock while formatting (instruments are atomic anyway).
+	type famSnap struct {
+		name, help string
+		kind       kind
+		series     []*series
+	}
+	snaps := make([]famSnap, len(fams))
+	for i, f := range fams {
+		ss := append([]*series(nil), f.series...)
+		sort.Slice(ss, func(a, b int) bool { return ss[a].key < ss[b].key })
+		snaps[i] = famSnap{name: f.name, help: f.help, kind: f.kind, series: ss}
+	}
+	r.mu.Unlock()
+
+	for _, f := range snaps {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			s.m.write(w, f.name, s.labels)
+		}
+	}
+}
+
+// Handler serves the registry as a text/plain exposition endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// renderLabels renders {a="x",b="y"} with names sorted, or "" when the
+// set is empty. Values are escaped per the exposition format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := sortLabels(labels)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

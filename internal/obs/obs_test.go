@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.", Label{"path", "/at"}, Label{"code", "200"})
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	g := r.Gauge("inflight", "In-flight requests.")
+	g.Set(3)
+	g.Add(-1)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total Requests served.",
+		"# TYPE requests_total counter",
+		`requests_total{code="200",path="/at"} 3`,
+		"# TYPE inflight gauge",
+		"inflight 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterDedup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", Label{"k", "v"})
+	b := r.Counter("x_total", "", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("x_total", "", Label{"k", "w"})
+	if other == a {
+		t.Fatal("distinct labels returned the same counter")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, Label{"path", "/bfs"})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.56) > 1e-9 {
+		t.Fatalf("Sum = %v, want 5.56", h.Sum())
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.01",path="/bfs"} 2`,
+		`latency_seconds_bucket{le="0.1",path="/bfs"} 3`,
+		`latency_seconds_bucket{le="1",path="/bfs"} 4`,
+		`latency_seconds_bucket{le="+Inf",path="/bfs"} 5`,
+		`latency_seconds_count{path="/bfs"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaryInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2}, nil...)
+	h.Observe(1) // le="1" is inclusive per the exposition format
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), `h_bucket{le="1"} 1`) {
+		t.Fatalf("observation at bound not counted in its bucket:\n%s", b.String())
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.GaugeFunc("epoch", "Current epoch.", func() float64 { return v }, Label{"shard", "0"})
+	r.CounterFunc("edges_total", "Edges.", func() float64 { return 42 })
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	if !strings.Contains(out, `epoch{shard="0"} 7`) || !strings.Contains(out, "edges_total 42") {
+		t.Fatalf("callback metrics missing:\n%s", out)
+	}
+	v = 9
+	b.Reset()
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), `epoch{shard="0"} 9`) {
+		t.Fatalf("GaugeFunc not re-read at exposition:\n%s", b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "", Label{"k", "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), `c{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics handler = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+// Concurrent instrument use plus exposition — the -race gate.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", nil)
+	g := r.Gauge("g", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c_total", "", Label{"w", string(rune('a' + w))}).Inc()
+				h.Observe(float64(i) / 1000)
+				g.Add(1)
+			}
+		}(w)
+	}
+	var exp sync.WaitGroup
+	exp.Add(1)
+	go func() {
+		defer exp.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WriteText(&b)
+		}
+	}()
+	wg.Wait()
+	exp.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", h.Count())
+	}
+	if g.Value() != 4000 {
+		t.Fatalf("gauge = %v, want 4000", g.Value())
+	}
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"adjarray/internal/obs"
+)
+
+// pool is one endpoint class's admission gate: at most `workers`
+// requests execute concurrently, at most `maxQueue` wait for a slot,
+// and everything beyond that is shed immediately as 429 with a
+// Retry-After hint. Shedding is the point — under a burst of expensive
+// algorithm queries the process answers "come back later" in
+// microseconds instead of accreting a goroutine (and a pinned
+// snapshot) per queued request until memory runs out.
+type pool struct {
+	class    string
+	slots    chan struct{} // buffered to the worker count
+	maxQueue int
+	waiting  atomic.Int64
+	retry    time.Duration
+	shed     *obs.Counter
+}
+
+func newPool(class string, workers, queue int, retry time.Duration, m *metrics) *pool {
+	p := &pool{
+		class:    class,
+		slots:    make(chan struct{}, workers),
+		maxQueue: queue,
+		retry:    retry,
+	}
+	label := obs.Label{Name: "class", Value: class}
+	p.shed = m.reg.Counter("adjserve_admission_shed_total",
+		"Requests answered 429 because the class's queue was full.", label)
+	m.reg.GaugeFunc("adjserve_admission_busy_workers",
+		"Requests of this class currently executing.",
+		func() float64 { return float64(len(p.slots)) }, label)
+	m.reg.GaugeFunc("adjserve_admission_queued_requests",
+		"Requests of this class waiting for a worker slot.",
+		func() float64 { return float64(p.waiting.Load()) }, label)
+	m.reg.GaugeFunc("adjserve_admission_worker_limit",
+		"Configured worker-pool size for this class.",
+		func() float64 { return float64(cap(p.slots)) }, label)
+	return p
+}
+
+// admit gates next behind the pool. The fast path is one non-blocking
+// channel send; the queue path blocks until a slot frees or the client
+// gives up (context cancellation releases the queue position).
+func (p *pool) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case p.slots <- struct{}{}:
+			// A worker slot was free.
+		default:
+			// All workers busy: join the bounded queue or shed. The
+			// counter check is optimistic — concurrent arrivals may
+			// shed slightly early, never queue unboundedly.
+			if int(p.waiting.Add(1)) > p.maxQueue {
+				p.waiting.Add(-1)
+				p.shed.Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(p.retry)))
+				http.Error(w, fmt.Sprintf(
+					"%s pool saturated: %d workers busy and %d requests queued; retry after %s",
+					p.class, cap(p.slots), p.maxQueue, p.retry),
+					http.StatusTooManyRequests)
+				return
+			}
+			select {
+			case p.slots <- struct{}{}:
+				p.waiting.Add(-1)
+			case <-r.Context().Done():
+				p.waiting.Add(-1)
+				return // client gone; nothing to write
+			}
+		}
+		defer func() { <-p.slots }()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// retryAfterSeconds renders the hint as whole seconds, rounding up so
+// a sub-second hint never becomes "Retry-After: 0".
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adjarray/internal/core"
+)
+
+// A saturated algorithm pool must shed with 429 + Retry-After while
+// read and control endpoints keep answering; releasing the worker slot
+// restores service. Deterministic: the test occupies the single worker
+// slot directly.
+func TestSaturatedPoolSheds429(t *testing.T) {
+	ing := newTestIngest(t, core.IngestOptions{})
+	seedEdges(t, ing, [2]string{"a", "b"})
+	s := New(ing, Options{AlgoWorkers: -1, AlgoQueue: -1, RetryAfter: 2500 * time.Millisecond}) // 1 worker, no queue
+
+	// Occupy the only algo worker slot, as a stuck in-flight request would.
+	s.algoPool.slots <- struct{}{}
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/bfs?src=a", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("/bfs under saturation = %d, want 429", rec.Code)
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", rec.Header().Get("Retry-After"))
+	}
+	if ra != 3 {
+		t.Fatalf("Retry-After = %d, want 3 (2.5s rounded up)", ra)
+	}
+	if !strings.Contains(rec.Body.String(), "algo pool saturated") {
+		t.Fatalf("shed body = %q", rec.Body.String())
+	}
+	if s.algoPool.shed.Value() != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.algoPool.shed.Value())
+	}
+
+	// The read pool and the control plane are independent of the stuck
+	// algorithm class: an operator can still see what is happening.
+	if code, _ := get(t, s, "/at?src=a&dst=b"); code != 200 {
+		t.Fatalf("/at while algo saturated = %d, want 200", code)
+	}
+	for _, path := range []string{"/stats", "/healthz", "/metrics"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s while algo saturated = %d, want 200", path, rec.Code)
+		}
+	}
+
+	// Shed responses are visible in the exposition.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), `adjserve_admission_shed_total{class="algo"} 1`) {
+		t.Fatal("/metrics does not report the shed request")
+	}
+
+	// Release the slot: service resumes.
+	<-s.algoPool.slots
+	if code, _ := get(t, s, "/bfs?src=a"); code != 200 {
+		t.Fatalf("/bfs after release = %d, want 200", code)
+	}
+}
+
+// With a queue, requests beyond workers+queue shed and the rest drain
+// once slots free up.
+func TestQueueAdmitsUpToDepth(t *testing.T) {
+	ing := newTestIngest(t, core.IngestOptions{})
+	seedEdges(t, ing, [2]string{"a", "b"})
+	s := New(ing, Options{AlgoWorkers: -1, AlgoQueue: 2})
+
+	s.algoPool.slots <- struct{}{} // saturate the worker
+
+	// Two requests may wait; the third over the line sheds immediately.
+	started := make(chan struct{}, 2)
+	finished := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			started <- struct{}{}
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest("GET", "/bfs?src=a", nil))
+			finished <- rec.Code
+		}()
+	}
+	<-started
+	<-started
+	// Wait until both goroutines are counted as queued.
+	for s.algoPool.waiting.Load() != 2 {
+		runtime.Gosched()
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/bfs?src=a", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("request beyond queue depth = %d, want 429", rec.Code)
+	}
+
+	<-s.algoPool.slots // free the worker; the queued pair drains
+	if a, b := <-finished, <-finished; a != 200 || b != 200 {
+		t.Fatalf("queued requests finished %d, %d; want 200, 200", a, b)
+	}
+}
+
+// Burst safety under -race: many concurrent expensive requests against
+// a one-worker, no-queue pool. Every request must be answered 200 or
+// 429 — never hang, never panic — and the pool must be fully released
+// afterwards.
+func TestBurstIsBoundedAndRecovers(t *testing.T) {
+	ing := newTestIngest(t, core.IngestOptions{})
+	seedEdges(t, ing, [2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"c", "a"})
+	s := New(ing, Options{AlgoWorkers: -1, AlgoQueue: -1})
+
+	const burst = 32
+	codes := make(chan int, burst)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest("GET", "/pagerank?iters=50", nil))
+			codes <- rec.Code
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(codes)
+
+	ok, shed := 0, 0
+	for code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("burst request answered %d", code)
+		}
+	}
+	if ok+shed != burst {
+		t.Fatalf("answered %d+%d of %d", ok, shed, burst)
+	}
+	if ok == 0 {
+		t.Fatal("every request shed; at least the slot holder should finish")
+	}
+	if len(s.algoPool.slots) != 0 || s.algoPool.waiting.Load() != 0 {
+		t.Fatalf("pool not drained: %d busy, %d waiting", len(s.algoPool.slots), s.algoPool.waiting.Load())
+	}
+	// And the server still works.
+	if code, _ := get(t, s, "/bfs?src=a"); code != 200 {
+		t.Fatalf("post-burst /bfs = %d", code)
+	}
+}

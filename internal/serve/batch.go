@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"adjarray/internal/algo"
+	"adjarray/internal/assoc"
+)
+
+// batchOp is one operation inside a POST /batch request.
+type batchOp struct {
+	Op  string `json:"op"`            // at | row | bfs | sssp | widest | pagerank | triangles
+	Src string `json:"src,omitempty"` // at, row, bfs, sssp, widest
+	Dst string `json:"dst,omitempty"` // at
+
+	// PageRank parameters; omitted fields take the endpoint defaults.
+	Damping *float64 `json:"damping,omitempty"`
+	Tol     *float64 `json:"tol,omitempty"`
+	Iters   *int     `json:"iters,omitempty"`
+}
+
+type batchRequest struct {
+	Ops []batchOp `json:"ops"`
+}
+
+// maxBatchBody bounds the request body; 256 ops of point reads fit in
+// a few KB, so 1 MiB is generous without letting one client stage an
+// arbitrarily large allocation.
+const maxBatchBody = 1 << 20
+
+// handleBatch executes many query ops against ONE pinned snapshot —
+// the epoch-vector gather, the graph-cache lookup, and (for sharded
+// views) the ⊕-merge are paid once per request instead of once per
+// op. Per-op failures are reported inline (an unknown vertex in op 3
+// must not void the other 99 answers); request-level failures (bad
+// JSON, too many ops) fail the whole request.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a JSON body: {\"ops\":[{\"op\":\"at\",...},...]}", http.StatusMethodNotAllowed)
+		return
+	}
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad batch request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) == 0 {
+		http.Error(w, "batch has no ops", http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) > s.opt.MaxBatchOps {
+		http.Error(w, fmt.Sprintf("batch of %d ops exceeds the server maximum %d", len(req.Ops), s.opt.MaxBatchOps), http.StatusBadRequest)
+		return
+	}
+
+	adj, epochs, exact, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	// The Graph is built (or fetched from the cache) at most once per
+	// batch, and only when an algorithm op actually needs it.
+	var g *algo.Graph
+	graph := func() (*algo.Graph, error) {
+		if g != nil {
+			return g, nil
+		}
+		var err error
+		g, err = s.cache.graphFor(adj, epochs)
+		return g, err
+	}
+
+	results := make([]map[string]any, len(req.Ops))
+	for i, op := range req.Ops {
+		res, err := s.execOp(op, adj, graph)
+		if err != nil {
+			results[i] = map[string]any{"op": op.Op, "error": err.Error(), "status": opStatus(err)}
+			continue
+		}
+		res["op"] = op.Op
+		results[i] = res
+	}
+	s.writeJSON(w, epochFields(map[string]any{
+		"results": results, "count": len(results), "exact": exact,
+	}, epochs))
+}
+
+// errBadOp marks client-side op validation failures (400, not 422).
+var errBadOp = errors.New("bad op")
+
+func badOp(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errBadOp, fmt.Sprintf(format, args...))
+}
+
+func opStatus(err error) int {
+	switch {
+	case errors.Is(err, errBadOp):
+		return http.StatusBadRequest
+	case errors.Is(err, algo.ErrNotVertex):
+		return http.StatusNotFound
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// execOp answers one batch op from the shared pinned snapshot.
+func (s *Server) execOp(op batchOp, adj *assoc.Array[float64], graph func() (*algo.Graph, error)) (map[string]any, error) {
+	switch op.Op {
+	case "at":
+		if op.Src == "" || op.Dst == "" {
+			return nil, badOp("at wants src and dst")
+		}
+		val, stored := adj.At(op.Src, op.Dst)
+		return map[string]any{"src": op.Src, "dst": op.Dst, "value": safeFloat(val), "stored": stored}, nil
+	case "row":
+		if op.Src == "" {
+			return nil, badOp("row wants src")
+		}
+		return map[string]any{"src": op.Src, "row": rowEntries(adj, op.Src)}, nil
+	case "bfs":
+		if op.Src == "" {
+			return nil, badOp("bfs wants src")
+		}
+		g, err := graph()
+		if err != nil {
+			return nil, err
+		}
+		levels, err := g.BFSLevels(op.Src)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"result": levels}, nil
+	case "sssp":
+		if op.Src == "" {
+			return nil, badOp("sssp wants src")
+		}
+		g, err := graph()
+		if err != nil {
+			return nil, err
+		}
+		dist, err := g.SSSP(op.Src)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"result": safeFloatMap(dist)}, nil
+	case "widest":
+		if op.Src == "" {
+			return nil, badOp("widest wants src")
+		}
+		g, err := graph()
+		if err != nil {
+			return nil, err
+		}
+		width, err := g.WidestPath(op.Src)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"result": safeFloatMap(width)}, nil
+	case "pagerank":
+		damping, tol, iters := 0.85, 1e-9, 100
+		if op.Damping != nil {
+			damping = *op.Damping
+		}
+		if op.Tol != nil {
+			tol = *op.Tol
+		}
+		if op.Iters != nil {
+			iters = *op.Iters
+		}
+		if err := s.pageRankParams(damping, tol, iters); err != nil {
+			return nil, badOp("%s", err)
+		}
+		g, err := graph()
+		if err != nil {
+			return nil, err
+		}
+		rank, used, err := g.PageRank(damping, tol, iters)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"result": map[string]any{"rank": rank, "iterations": used}}, nil
+	case "triangles":
+		g, err := graph()
+		if err != nil {
+			return nil, err
+		}
+		n, err := g.TriangleCount()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"result": n}, nil
+	default:
+		return nil, badOp("unknown op %q (want at, row, bfs, sssp, widest, pagerank, or triangles)", op.Op)
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"net/http"
+	"slices"
+	"strconv"
+	"sync"
+	"time"
+
+	"adjarray/internal/core"
+	"adjarray/internal/obs"
+)
+
+// metrics is the server's observability surface. Instrument-backed
+// series (latencies, shed counts) are fed on the request path; view
+// positions that the ingest owns (epochs, WAL lag, edge counts) are
+// exported as pull-time callbacks so scraping never duplicates state.
+type metrics struct {
+	reg *obs.Registry
+
+	inflight     *obs.Gauge
+	encodeErrors *obs.Counter
+	writeErrors  *obs.Counter
+
+	cacheHits     *obs.Counter
+	cacheRebuilds *obs.Counter
+	cacheStale    *obs.Counter
+
+	// Snapshot epoch age: how long since the served epoch vector last
+	// advanced — the staleness a reader observes, as distinct from WAL
+	// lag (what a crash would lose).
+	epochMu     sync.Mutex
+	lastEpochs  []int
+	lastAdvance time.Time
+}
+
+func newMetrics(reg *obs.Registry, ing *core.Ingest) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &metrics{reg: reg, lastAdvance: time.Now()}
+	m.inflight = reg.Gauge("adjserve_http_inflight_requests",
+		"Requests currently being served.")
+	m.encodeErrors = reg.Counter("adjserve_response_encode_errors_total",
+		"Responses whose JSON encoding failed before any byte was written.")
+	m.writeErrors = reg.Counter("adjserve_response_write_errors_total",
+		"Encoded responses the client connection refused (disconnects).")
+	m.cacheHits = reg.Counter("adjserve_graph_cache_hits_total",
+		"Algorithm queries answered from the per-epoch cached Graph.")
+	m.cacheRebuilds = reg.Counter("adjserve_graph_cache_rebuilds_total",
+		"Graph rebuilds after the snapshot epoch vector advanced.")
+	m.cacheStale = reg.Counter("adjserve_graph_cache_stale_serves_total",
+		"Queries that pinned an older snapshot than the cached Graph and were served uncached.")
+	reg.GaugeFunc("adjserve_snapshot_epoch_age_seconds",
+		"Seconds since the served snapshot epoch vector last advanced.",
+		func() float64 {
+			m.epochMu.Lock()
+			defer m.epochMu.Unlock()
+			return time.Since(m.lastAdvance).Seconds()
+		})
+
+	// Ingest positions, pulled from the view(s) at scrape time. The
+	// per-scrape Stats() call takes the view lock briefly — the same
+	// cost as one /stats request.
+	if sv := ing.Sharded(); sv != nil {
+		reg.CounterFunc("adjserve_ingest_edges_total",
+			"Edges ever applied to the view (rate() of this is the ingest rate).",
+			func() float64 { return float64(sv.Stats().Edges) })
+		reg.GaugeFunc("adjserve_adjacency_nnz",
+			"Stored adjacency entries across shards.",
+			func() float64 { return float64(sv.Stats().AdjNNZ) })
+		reg.GaugeFunc("adjserve_pending_entries",
+			"Contribution entries awaiting the backlog fold.",
+			func() float64 { return float64(sv.Stats().Pending) })
+		for i := 0; i < sv.Shards(); i++ {
+			shard := obs.Label{Name: "shard", Value: strconv.Itoa(i)}
+			i := i
+			reg.CounterFunc("adjserve_shard_epoch",
+				"Batches applied per shard (the consistency vector).",
+				func() float64 { return float64(sv.Stats().PerShard[i].Epoch) }, shard)
+			if sv.Durable() {
+				reg.GaugeFunc("adjserve_wal_lag_batches",
+					"Batches a crash right now would lose, per shard.",
+					func() float64 { return float64(sv.Durability()[i].WALLag) }, shard)
+			}
+		}
+	} else {
+		v := ing.View()
+		reg.CounterFunc("adjserve_ingest_edges_total",
+			"Edges ever applied to the view (rate() of this is the ingest rate).",
+			func() float64 { return float64(v.Stats().Edges) })
+		reg.GaugeFunc("adjserve_adjacency_nnz",
+			"Stored adjacency entries in the materialized main level.",
+			func() float64 { return float64(v.Stats().AdjNNZ) })
+		reg.GaugeFunc("adjserve_pending_entries",
+			"Contribution entries awaiting the backlog fold.",
+			func() float64 { return float64(v.Stats().PendingNNZ) })
+		reg.CounterFunc("adjserve_shard_epoch",
+			"Batches applied (single view).",
+			func() float64 { return float64(v.Stats().Epoch) }, obs.Label{Name: "shard", Value: "0"})
+		if d := ing.Durable(); d != nil {
+			reg.GaugeFunc("adjserve_wal_lag_batches",
+				"Batches a crash right now would lose.",
+				func() float64 { return float64(d.Durability().WALLag) }, obs.Label{Name: "shard", Value: "0"})
+			reg.GaugeFunc("adjserve_checkpoint_seq",
+				"WAL seq covered by the newest on-disk checkpoint.",
+				func() float64 { return float64(d.Durability().CheckpointSeq) })
+		}
+	}
+	return m
+}
+
+// observeEpochs records snapshot pins so the epoch-age gauge knows
+// when the served vector last advanced.
+func (m *metrics) observeEpochs(epochs []int) {
+	m.epochMu.Lock()
+	if !slices.Equal(m.lastEpochs, epochs) {
+		m.lastEpochs = slices.Clone(epochs)
+		m.lastAdvance = time.Now()
+	}
+	m.epochMu.Unlock()
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route with the latency histogram, request
+// counter, and in-flight gauge. The label is the registered route
+// pattern, never the raw URL, so series cardinality is bounded by the
+// route table.
+func (m *metrics) instrument(path string, next http.Handler) http.Handler {
+	hist := m.reg.Histogram("adjserve_http_request_seconds",
+		"Wall time per request by endpoint.", obs.DefBuckets,
+		obs.Label{Name: "path", Value: path})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		m.inflight.Add(-1)
+		hist.Observe(time.Since(start).Seconds())
+		// Counter() dedups on name+labels: one mutexed map lookup per
+		// request, the price of not pre-declaring every status code.
+		m.reg.Counter("adjserve_http_requests_total",
+			"Requests served by endpoint and status code.",
+			obs.Label{Name: "path", Value: path},
+			obs.Label{Name: "code", Value: strconv.Itoa(sw.code)}).Inc()
+	})
+}

@@ -98,6 +98,21 @@ func (m *CSR[V]) Iterate(fn func(i, j int, v V)) {
 	}
 }
 
+// IterateUntil visits stored entries in row-major order until fn
+// returns false, and reports whether the sweep ran to completion.
+// Unlike Iterate it never touches entries past the stop point, so a
+// bounded scan over a large matrix is O(visited), not O(nnz).
+func (m *CSR[V]) IterateUntil(fn func(i, j int, v V) bool) bool {
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			if !fn(i, m.colIdx[p], m.val[p]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Clone deep-copies the matrix.
 func (m *CSR[V]) Clone() *CSR[V] {
 	out := &CSR[V]{rows: m.rows, cols: m.cols,

@@ -1,0 +1,51 @@
+package sparse
+
+import "testing"
+
+func iterateTestMatrix(t *testing.T) *CSR[float64] {
+	t.Helper()
+	coo := NewCOO[float64](3, 3)
+	for _, e := range [][3]int{{0, 0, 1}, {0, 2, 2}, {1, 1, 3}, {2, 0, 4}, {2, 2, 5}} {
+		coo.MustAppend(e[0], e[1], float64(e[2]))
+	}
+	return coo.ToCSR(nil)
+}
+
+func TestIterateUntilEarlyExit(t *testing.T) {
+	m := iterateTestMatrix(t)
+	visited := 0
+	done := m.IterateUntil(func(i, j int, v float64) bool {
+		visited++
+		return visited < 2
+	})
+	if done {
+		t.Fatal("IterateUntil reported completion after an early stop")
+	}
+	// The sweep stops at the first false: entry 2 returned false, and
+	// entries 3..5 were never touched.
+	if visited != 2 {
+		t.Fatalf("visited %d entries, want 2", visited)
+	}
+}
+
+func TestIterateUntilCompletes(t *testing.T) {
+	m := iterateTestMatrix(t)
+	var got []int
+	done := m.IterateUntil(func(i, j int, v float64) bool {
+		got = append(got, int(v))
+		return true
+	})
+	if !done {
+		t.Fatal("full sweep reported early stop")
+	}
+	// Row-major order, same as Iterate.
+	want := []int{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visited %v, want %v", got, want)
+		}
+	}
+}
