@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"adjarray/internal/lint"
+	"adjarray/internal/lint/analysis"
+	"adjarray/internal/lint/loader"
+)
+
+// vetConfig mirrors the JSON the go command writes to vet.cfg for each
+// compilation unit (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one compilation unit described by a vet.cfg file,
+// as invoked by `go vet -vettool=adjlint`.
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer, asJSON bool) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatal(fmt.Errorf("adjlint: parsing %s: %v", cfgPath, err))
+	}
+
+	// The suite uses no cross-package facts, but the protocol requires
+	// a facts file per unit (dependencies are invoked VetxOnly purely
+	// to produce theirs).
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data files the go command
+	// already compiled for this unit's dependencies, after mapping
+	// source-level import paths through the vendoring/ID map.
+	compilerImp := loader.ExportImporter(fset, cfg.PackageFile)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compilerImp.Import(path)
+	})
+	conf := &types.Config{Importer: imp}
+	if strings.HasPrefix(cfg.GoVersion, "go") {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := loader.NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return
+		}
+		fatal(fmt.Errorf("adjlint: type-checking %s: %v", cfg.ImportPath, err))
+	}
+
+	p := &loader.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info}
+	findings, err := lint.RunPackage(p, analyzers)
+	if err != nil {
+		fatal(fmt.Errorf("adjlint: %s: %v", cfg.ImportPath, err))
+	}
+	writeVetx()
+	if len(findings) == 0 {
+		return
+	}
+	if asJSON {
+		emitJSON(os.Stdout, cfg.ID, findings)
+		return // JSON mode reports via output, not exit status
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Position, f.Message, f.Analyzer)
+	}
+	os.Exit(2)
+}
+
+// emitJSON renders the vet JSON shape: {pkgID: {analyzer: [diag]}}.
+func emitJSON(w io.Writer, pkgID string, findings []lint.Finding) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{Posn: f.Position, Message: f.Message})
+	}
+	out := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

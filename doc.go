@@ -55,7 +55,14 @@
 //     bounded admission pools per endpoint class shedding overload as
 //     429 + Retry-After, and POST /batch answering many ops from one
 //     pinned snapshot; cmd/loadgen drives it with open-model zipfian
-//     load and records per-endpoint latency percentiles (BENCH_7.json).
+//     load and records per-endpoint latency percentiles (BENCH_7.json);
+//   - static analysis: internal/lint + cmd/adjlint is a go/analysis-
+//     style suite that mechanically gates the invariants past PRs had
+//     to find by hand — nondeterministic ⊕-folds over map iteration,
+//     dropped fsync errors on the WAL path, sync.Pool scratch aliasing,
+//     statically-invalid MulOptions, and in-place mutation of
+//     copy-on-write snapshot slices; run standalone (adjlint ./...) or
+//     as go vet -vettool, gating in CI.
 //
 // # Batch and incremental construction
 //

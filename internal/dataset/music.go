@@ -17,6 +17,8 @@
 package dataset
 
 import (
+	"sort"
+
 	"adjarray/internal/assoc"
 )
 
@@ -153,11 +155,17 @@ func MusicE1Weighted() *assoc.Array[float64] {
 	})
 }
 
-// figureRow builds the triples of one expected adjacency row.
+// figureRow builds the triples of one expected adjacency row, in
+// sorted writer order so the fixture bytes are identical across runs.
 func figureRow(genre string, vals map[string]float64) []assoc.Triple[float64] {
-	var ts []assoc.Triple[float64]
-	for writer, v := range vals {
-		ts = append(ts, assoc.Triple[float64]{Row: genre, Col: writer, Val: v})
+	writers := make([]string, 0, len(vals))
+	for writer := range vals {
+		writers = append(writers, writer)
+	}
+	sort.Strings(writers)
+	ts := make([]assoc.Triple[float64], 0, len(writers))
+	for _, writer := range writers {
+		ts = append(ts, assoc.Triple[float64]{Row: genre, Col: writer, Val: vals[writer]})
 	}
 	return ts
 }

@@ -63,6 +63,25 @@ func (in *Interner) Len() int {
 	return len(in.off) - 1
 }
 
+// InternerStats is a point-in-time snapshot of an interner's memory
+// footprint, cheap enough to poll from a metrics scrape.
+type InternerStats struct {
+	Keys      int // distinct keys interned
+	SlabBytes int // cumulative key bytes in the append-only slab
+	TableSlot int // open-addressed table capacity (power of two)
+}
+
+// Stats reports the interner's current size under one read lock.
+func (in *Interner) Stats() InternerStats {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return InternerStats{
+		Keys:      len(in.off) - 1,
+		SlabBytes: len(in.slab),
+		TableSlot: len(in.tab),
+	}
+}
+
 // hashKey hashes the key bytes through hash/maphash with this
 // interner's random per-instance seed — the same flooding protection
 // Go's built-in map hash provides (an unseeded hash would let an

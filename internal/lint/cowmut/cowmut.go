@@ -1,0 +1,186 @@
+// Package cowmut enforces copy-on-write discipline on slices that
+// outlive their owner through snapshots: stream.View's id→position
+// arrays and the CSR layers snapshots share. Those slices are REPLACED
+// wholesale by their sanctioned rebuild/rebase helpers; mutating them
+// element-wise (or growing them with append back into the same field)
+// would be observed by every snapshot that captured the old header —
+// the PR 5 aliasing bug class, and a violation of the O(1)-snapshot
+// guarantee stream documents.
+//
+// Fields (or whole types) opt in with a directive comment:
+//
+//	//adjlint:cow
+//
+// on the field declaration (every slice field of a type-level
+// annotation is covered). Within the same package — COW fields are
+// unexported, so all writers are local — the analyzer then flags:
+//
+//	x.field[i] = v          // element write through the shared header
+//	x.field[i] += v
+//	x.field = append(x.field, …)  // may grow in place into shared backing
+//
+// Wholesale replacement (x.field = freshSlice) stays legal: that IS
+// copy-on-write. Sanctioned writers — the rebuild helpers that
+// construct the fresh slice and install it — are annotated
+//
+//	//adjlint:cow-writer
+//
+// on their doc comment and are skipped entirely.
+package cowmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"adjarray/internal/lint/analysis"
+	"adjarray/internal/lint/lintutil"
+)
+
+// Directive marks a COW-disciplined field or type.
+const Directive = "//adjlint:cow"
+
+// WriterDirective marks a function sanctioned to mutate COW fields.
+const WriterDirective = "//adjlint:cow-writer"
+
+// Analyzer is the cowmut pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cowmut",
+	Doc:  "flag in-place mutation of //adjlint:cow slices (snapshot-shared storage must be replaced, never written through)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	cow := collectCowFields(pass)
+	if len(cow) == 0 {
+		return nil, nil
+	}
+	for _, f := range lintutil.NonTestFiles(pass.Fset, pass.Files) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || lintutil.FuncHasDirective(fd, WriterDirective) {
+				continue
+			}
+			checkFunc(pass, fd.Body, cow)
+		}
+	}
+	return nil, nil
+}
+
+// collectCowFields resolves //adjlint:cow annotations to the field
+// objects they cover: annotated fields directly, and every slice field
+// of an annotated struct type.
+func collectCowFields(pass *analysis.Pass) map[types.Object]bool {
+	cow := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gd, ok := n.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				typeWide := lintutil.HasDirective(gd.Doc, Directive) || lintutil.HasDirective(ts.Doc, Directive) ||
+					lintutil.HasDirective(ts.Comment, Directive)
+				for _, field := range st.Fields.List {
+					marked := typeWide || lintutil.HasDirective(field.Doc, Directive) ||
+						lintutil.HasDirective(field.Comment, Directive)
+					if !marked {
+						continue
+					}
+					for _, name := range field.Names {
+						obj := pass.TypesInfo.Defs[name]
+						if obj == nil {
+							continue
+						}
+						if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+							cow[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return cow
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, cow map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range stmt.Lhs {
+				checkAssign(pass, stmt, i, lhs, cow)
+			}
+		case *ast.IncDecStmt:
+			if sel, field := cowIndexTarget(pass, stmt.X, cow); sel != nil {
+				pass.Reportf(stmt.Pos(),
+					"in-place %s of COW field %s: snapshots share this backing array — build a fresh slice and replace the field (see the //adjlint:cow-writer helpers)",
+					stmt.Tok, field.Name())
+			}
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, stmt *ast.AssignStmt, i int, lhs ast.Expr, cow map[types.Object]bool) {
+	// x.field[i] = v, x.field[i] += v.
+	if _, field := cowIndexTarget(pass, lhs, cow); field != nil {
+		pass.Reportf(stmt.Pos(),
+			"element write to COW field %s: snapshots share this backing array — build a fresh slice and replace the field (see the //adjlint:cow-writer helpers)",
+			field.Name())
+		return
+	}
+	// x.field = append(x.field, …): the append may extend in place
+	// into backing a snapshot still reads.
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field := lintutil.Obj(pass.TypesInfo, sel.Sel)
+	if field == nil || !cow[field] {
+		return
+	}
+	if i >= len(stmt.Rhs) {
+		return
+	}
+	call, ok := ast.Unparen(stmt.Rhs[i]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return
+	}
+	firstSel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	if ok && lintutil.Obj(pass.TypesInfo, firstSel.Sel) == field {
+		pass.Reportf(stmt.Pos(),
+			"append back into COW field %s may grow in place into snapshot-shared backing; copy into a fresh slice and replace the field instead",
+			field.Name())
+	}
+}
+
+// cowIndexTarget matches x.field[i] (any depth of parens/slices) where
+// field is COW-annotated, returning the selector and field object.
+func cowIndexTarget(pass *analysis.Pass, e ast.Expr, cow map[types.Object]bool) (*ast.SelectorExpr, types.Object) {
+	idx, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(idx.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	field := lintutil.Obj(pass.TypesInfo, sel.Sel)
+	if field == nil || !cow[field] {
+		return nil, nil
+	}
+	return sel, field
+}

@@ -1,0 +1,12 @@
+package cowmut_test
+
+import (
+	"testing"
+
+	"adjarray/internal/lint/cowmut"
+	"adjarray/internal/lint/linttest"
+)
+
+func TestCowmut(t *testing.T) {
+	linttest.Run(t, "testdata/cowmuttest", cowmut.Analyzer)
+}

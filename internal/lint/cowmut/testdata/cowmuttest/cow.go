@@ -1,0 +1,66 @@
+// Fixture for the cowmut analyzer: in-place mutation of slices that
+// snapshots share, against the sanctioned replace-wholesale discipline
+// of stream.View's id→position arrays.
+package cowmuttest
+
+type view struct {
+	//adjlint:cow
+	pos     []int32
+	scratch []int32
+}
+
+// mutateBad writes through the shared header — every snapshot that
+// captured pos sees the change.
+func (v *view) mutateBad(i int, p int32) {
+	v.pos[i] = p // want `element write to COW field pos`
+}
+
+// growBad may extend in place into shared backing.
+func (v *view) growBad(p int32) {
+	v.pos = append(v.pos, p) // want `append back into COW field pos`
+}
+
+// bumpBad increments through the shared header.
+func (v *view) bumpBad(i int) {
+	v.pos[i]++ // want `in-place \+\+ of COW field pos`
+}
+
+// rebase is the sanctioned copy-on-write replacement from
+// internal/stream: build fresh, install wholesale. No finding.
+func (v *view) rebase(n int) {
+	fresh := make([]int32, n)
+	copy(fresh, v.pos)
+	v.pos = fresh
+}
+
+// rebuild is an annotated writer: it may initialize through the field
+// because it owns the freshly-installed slice. No finding.
+//
+//adjlint:cow-writer
+func (v *view) rebuild(n int) {
+	fresh := make([]int32, n)
+	v.pos = fresh
+	v.pos[0] = -1
+}
+
+// scratchWrite mutates an unannotated sibling field: no finding.
+func (v *view) scratchWrite(i int, p int32) {
+	v.scratch[i] = p
+}
+
+// layer exercises the type-level annotation: every slice field is
+// covered, scalar fields are not.
+//
+//adjlint:cow
+type layer struct {
+	ptr []int
+	n   int
+}
+
+func (l *layer) ptrBad(i int) {
+	l.ptr[i] = 0 // want `element write to COW field ptr`
+}
+
+func (l *layer) scalarOK() {
+	l.n = 3
+}

@@ -1,0 +1,203 @@
+// Package detfold flags nondeterministic folds over Go map iteration —
+// the PR 4 PageRank bug class, and the code-level half of the paper's
+// exactness condition: Definition I.3 only pins down A when the ⊕-fold
+// order is determined, and `for range` over a map supplies a different
+// order every run. A float accumulation inside such a loop makes the
+// final bits run-dependent (float ⊕ is not associative); a slice built
+// by appending in map order bakes the nondeterminism into any output
+// derived from it.
+//
+// Reported patterns, inside the body of a `for … range m` where m is a
+// map:
+//
+//   - x += e, x -= e, x *= e, x /= e, or x = x ⊕ e, where x is a
+//     float-typed variable declared outside the loop;
+//   - s = append(s, …) where s is declared outside the loop, UNLESS s
+//     is later passed to a sort (sort.Strings/Slice/…, slices.Sort*)
+//     in the same function — the collect-then-sort idiom is the
+//     sanctioned way to make map iteration deterministic.
+//
+// Order-independent folds (integer counts, max trackers guarded by
+// comparisons, set inserts) are not flagged. A genuinely
+// order-independent float fold can be annotated
+// //adjlint:ignore detfold with a reason.
+package detfold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"adjarray/internal/lint/analysis"
+	"adjarray/internal/lint/lintutil"
+)
+
+// Analyzer is the detfold pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detfold",
+	Doc:  "flag float accumulation or order-sensitive appends inside range-over-map loops (nondeterministic ⊕-fold)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range lintutil.NonTestFiles(pass.Fset, pass.Files) {
+		lintutil.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			fn := lintutil.EnclosingFunc(append(stack, n))
+			checkMapLoop(pass, rng, fn)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkMapLoop scans one range-over-map body for order-sensitive
+// accumulation into variables declared outside the loop.
+func checkMapLoop(pass *analysis.Pass, rng *ast.RangeStmt, fn ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs := as.Lhs[0]
+		obj := objOf(pass, lhs)
+		if obj == nil || declaredWithin(obj, rng) {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if lintutil.IsFloat(obj.Type()) || lintutil.IsFloat(pass.TypesInfo.TypeOf(lhs)) {
+				pass.Reportf(as.Pos(),
+					"float accumulation into %q inside range over map: iteration order is nondeterministic, so the ⊕-fold result is run-dependent; iterate a sorted key list instead",
+					obj.Name())
+			}
+		case token.ASSIGN:
+			rhs := ast.Unparen(as.Rhs[0])
+			if isSelfFold(pass, rhs, obj) && lintutil.IsFloat(obj.Type()) {
+				pass.Reportf(as.Pos(),
+					"float accumulation into %q inside range over map: iteration order is nondeterministic, so the ⊕-fold result is run-dependent; iterate a sorted key list instead",
+					obj.Name())
+				return true
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && isAppendToSelf(pass, call, lhs, obj) {
+				if !sortedAfter(pass, fn, rng, obj) {
+					pass.Reportf(as.Pos(),
+						"append to %q inside range over map bakes nondeterministic iteration order into the slice; sort it afterwards or iterate sorted keys",
+						obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// objOf resolves the accumulated-into variable: a plain identifier, or
+// the root object of a selector like acc.total (the field's owner is
+// what must be loop-local for the fold to be benign, so use the field
+// object itself when resolvable).
+func objOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return lintutil.Obj(pass.TypesInfo, x)
+	case *ast.SelectorExpr:
+		return lintutil.Obj(pass.TypesInfo, x.Sel)
+	}
+	return nil
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// range statement (loop-local accumulators reset each entry are fine —
+// they cannot carry order across iterations... but a var declared in
+// the BODY is re-created per iteration, so only body-declared objects
+// qualify; the range key/value variables do too).
+func declaredWithin(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+}
+
+// isSelfFold matches x ⊕ e / e ⊕ x binary expressions over the
+// accumulator object for commutative-looking spellings of +=.
+func isSelfFold(pass *analysis.Pass, rhs ast.Expr, obj types.Object) bool {
+	b, ok := rhs.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	return refersTo(pass, b.X, obj) || refersTo(pass, b.Y, obj)
+}
+
+func refersTo(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && lintutil.Obj(pass.TypesInfo, id) == obj
+}
+
+// isAppendToSelf matches s = append(s, …).
+func isAppendToSelf(pass *analysis.Pass, call *ast.CallExpr, lhs ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := lintutil.Obj(pass.TypesInfo, id).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	return objOf(pass, call.Args[0]) == obj
+}
+
+// sortedAfter reports whether, after the range loop, the enclosing
+// function passes the accumulated slice to a sorting function — the
+// stdlib sort/slices packages, or any helper whose name says it sorts
+// (the repo's sortStrings-style wrappers) — the idiom that restores
+// determinism.
+func sortedAfter(pass *analysis.Pass, fn ast.Node, rng *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || sorted {
+			return !sorted
+		}
+		callee := lintutil.Callee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		isSorter := strings.Contains(strings.ToLower(callee.Name()), "sort")
+		if pkg := callee.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+			isSorter = true
+		}
+		if !isSorter {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(pass, arg, obj) || objOf(pass, arg) == obj || rootRefersTo(pass, arg, obj) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func rootRefersTo(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id := lintutil.RootIdent(e)
+	return id != nil && lintutil.Obj(pass.TypesInfo, id) == obj
+}

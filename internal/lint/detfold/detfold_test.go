@@ -1,0 +1,12 @@
+package detfold_test
+
+import (
+	"testing"
+
+	"adjarray/internal/lint/detfold"
+	"adjarray/internal/lint/linttest"
+)
+
+func TestDetfold(t *testing.T) {
+	linttest.Run(t, "testdata/detfoldtest", detfold.Analyzer)
+}

@@ -1,0 +1,97 @@
+// Fixture for the detfold analyzer: nondeterministic ⊕-folds over map
+// iteration, plus the sanctioned spellings that must NOT be flagged.
+package detfoldtest
+
+import "sort"
+
+// sumScores is the PR 4 PageRank dangling-sum bug class verbatim: a
+// float accumulated in map order.
+func sumScores(scores map[string]float64) float64 {
+	var total float64
+	for _, v := range scores {
+		total += v // want `float accumulation into "total" inside range over map`
+	}
+	return total
+}
+
+// selfFold spells the same bug as x = x + e.
+func selfFold(scores map[string]float64) float64 {
+	var total float64
+	for _, v := range scores {
+		total = total + v // want `float accumulation into "total" inside range over map`
+	}
+	return total
+}
+
+// keysUnsorted bakes map order into a slice that escapes.
+func keysUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want `append to "ks" inside range over map`
+	}
+	return ks
+}
+
+// keysSorted is the sanctioned collect-then-sort idiom: no finding.
+func keysSorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// keysHelperSorted sorts through a local wrapper, the repo's
+// sortStrings pattern: no finding.
+func keysHelperSorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sortStrings(ks)
+	return ks
+}
+
+func sortStrings(xs []string) { sort.Strings(xs) }
+
+// fieldCollect appends into a struct field and sorts it after — the
+// field-selector spelling of collect-then-sort: no finding.
+type bag struct{ items []string }
+
+func (b *bag) fieldCollect(m map[string]bool) {
+	for k := range m {
+		b.items = append(b.items, k)
+	}
+	sort.Strings(b.items)
+}
+
+// intCount folds an order-independent integer: no finding.
+func intCount(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// loopLocal accumulates into a variable created each iteration: no
+// finding (it cannot carry order across iterations).
+func loopLocal(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		w := v
+		w *= 2
+		out[k] = w
+	}
+}
+
+// annotated shows the escape hatch for a genuinely order-independent
+// float fold: suppressed, no finding.
+func annotated(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//adjlint:ignore detfold values are exact small integers; the fold is associative
+		total += v
+	}
+	return total
+}

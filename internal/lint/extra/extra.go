@@ -1,0 +1,284 @@
+// Package extra bundles adjlint's ports of three x/tools passes —
+// nilness, shadow, and unusedwrite. The real passes cannot be imported
+// (this module bakes in no third-party dependencies, and two of the
+// originals require the SSA construction x/tools provides), so these
+// are deliberately CONSERVATIVE reimplementations of each pass's
+// highest-signal core on plain AST+types: every pattern they flag is a
+// bug or dead code under the same definition the original uses, but
+// they find strictly fewer instances. Porting to the originals is a
+// one-line import change per analyzer once the module vendors x/tools.
+package extra
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"adjarray/internal/lint/analysis"
+	"adjarray/internal/lint/lintutil"
+)
+
+// Nilness flags dereferences of a pointer inside the very branch that
+// established it is nil: `if p == nil { … p.f … }` with no intervening
+// reassignment of p. (The x/tools original proves nilness along all
+// SSA paths; this port handles the single-branch case, which is where
+// the serving handlers' nil-snapshot bugs live.)
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "flag pointer dereferences inside the branch that proved the pointer nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) (any, error) {
+	for _, f := range lintutil.NonTestFiles(pass.Fset, pass.Files) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Init != nil {
+				return true
+			}
+			obj := nilCheckedObj(pass, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+				return true
+			}
+			reportNilDerefs(pass, ifs.Body, obj)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// nilCheckedObj matches `x == nil` over a plain identifier.
+func nilCheckedObj(pass *analysis.Pass, cond ast.Expr) types.Object {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.EQL {
+		return nil
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNilIdent(pass, y) {
+		// fallthrough with x
+	} else if isNilIdent(pass, x) {
+		x = y
+	} else {
+		return nil
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return lintutil.Obj(pass.TypesInfo, id)
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := lintutil.Obj(pass.TypesInfo, id).(*types.Nil)
+	return isNil
+}
+
+// reportNilDerefs walks the then-branch, stopping at any reassignment
+// of obj, reporting field selections and explicit dereferences.
+func reportNilDerefs(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) {
+	reassigned := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reassigned.IsValid() && n != nil && n.Pos() > reassigned {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && lintutil.Obj(pass.TypesInfo, id) == obj {
+					reassigned = x.Pos()
+				}
+			}
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && lintutil.Obj(pass.TypesInfo, id) == obj {
+				pass.Reportf(x.Pos(), "nil dereference: this branch is only reached when %s is nil", obj.Name())
+			}
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(x.X).(*ast.Ident)
+			if !ok || lintutil.Obj(pass.TypesInfo, id) != obj {
+				return true
+			}
+			// Selecting a FIELD through a nil pointer panics; calling a
+			// METHOD may be a legitimate works-on-nil method, so only
+			// field selections are reported.
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				pass.Reportf(x.Pos(), "nil dereference: field %s read through %s, which is nil on this branch", x.Sel.Name, obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// Shadow flags an inner short-variable declaration that shadows a
+// function-local variable of identical type when the outer variable is
+// still used after the point of the shadowing declaration — the
+// configuration where a write to the wrong one silently diverges
+// (x/tools' shadow heuristic, minus its span refinements).
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "flag inner declarations that shadow a still-live outer variable of the same type",
+	Run:  runShadow,
+}
+
+func runShadow(pass *analysis.Pass) (any, error) {
+	for _, f := range lintutil.NonTestFiles(pass.Fset, pass.Files) {
+		for id, obj := range pass.TypesInfo.Defs {
+			if obj == nil || id.Name == "_" || id.Name == "err" {
+				// err shadowing is idiomatic at every `if err := …` site;
+				// the originals special-case it via span heuristics.
+				continue
+			}
+			v, ok := obj.(*types.Var)
+			if !ok || v.IsField() || !inFile(pass, f, id.Pos()) || !isShortDecl(pass, f, id) {
+				continue
+			}
+			checkShadow(pass, f, id, v)
+		}
+	}
+	return nil, nil
+}
+
+func inFile(pass *analysis.Pass, f *ast.File, pos token.Pos) bool {
+	return f.FileStart <= pos && pos < f.FileEnd
+}
+
+// isShortDecl reports whether id is declared by := (not a func param,
+// range variable shadowing is the same class but param shadowing is
+// deliberate API shape).
+func isShortDecl(pass *analysis.Pass, f *ast.File, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || found {
+			return !found
+		}
+		for _, lhs := range as.Lhs {
+			if lhs == ast.Expr(id) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkShadow(pass *analysis.Pass, f *ast.File, id *ast.Ident, inner *types.Var) {
+	scope := pass.Pkg.Scope().Innermost(id.Pos())
+	if scope == nil {
+		return
+	}
+	// Look up the name OUTSIDE the innermost scope: a hit that is a
+	// function-local variable declared earlier is the shadowed one.
+	_, outerObj := scope.Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outer == inner || outer.IsField() {
+		return
+	}
+	if outer.Parent() == pass.Pkg.Scope() || outer.Parent() == types.Universe {
+		return // package-level shadowing is ubiquitous and deliberate
+	}
+	if !types.Identical(outer.Type(), inner.Type()) {
+		return
+	}
+	// The outer variable must still be used after the shadowing
+	// declaration for the shadow to be able to bite.
+	usedAfter := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if usedAfter {
+			return false
+		}
+		u, ok := n.(*ast.Ident)
+		if ok && u.Pos() > id.Pos() && pass.TypesInfo.Uses[u] == outer {
+			usedAfter = true
+		}
+		return true
+	})
+	if usedAfter {
+		pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d; the outer variable is still used after this point",
+			id.Name, pass.Fset.Position(outer.Pos()).Line)
+	}
+}
+
+// Unusedwrite flags writes to fields of a VALUE receiver when the
+// receiver is never read again in the method — the write mutates a
+// copy and is lost on return (the highest-signal instance of the
+// x/tools unusedwrite pass, which needs SSA for the general case).
+var Unusedwrite = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "flag field writes through a value receiver that are never read (the write mutates a copy)",
+	Run:  runUnusedwrite,
+}
+
+func runUnusedwrite(pass *analysis.Pass) (any, error) {
+	for _, f := range lintutil.NonTestFiles(pass.Fset, pass.Files) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			field := fd.Recv.List[0]
+			if len(field.Names) != 1 {
+				continue
+			}
+			if _, isPtr := field.Type.(*ast.StarExpr); isPtr {
+				continue
+			}
+			recv := pass.TypesInfo.Defs[field.Names[0]]
+			if recv == nil {
+				continue
+			}
+			if _, isStruct := recv.Type().Underlying().(*types.Struct); !isStruct {
+				continue
+			}
+			checkValueReceiverWrites(pass, fd.Body, recv)
+		}
+	}
+	return nil, nil
+}
+
+func checkValueReceiverWrites(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) {
+	type write struct {
+		stmt  *ast.AssignStmt
+		field string
+	}
+	var writes []write
+	lastUse := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok || lintutil.Obj(pass.TypesInfo, id) != recv {
+					continue
+				}
+				if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+					writes = append(writes, write{x, sel.Sel.Name})
+				}
+			}
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[x] == recv && x.Pos() > lastUse {
+				lastUse = x.Pos()
+			}
+		}
+		return true
+	})
+	for _, w := range writes {
+		// The receiver identifier inside the write's own LHS is not a
+		// "read"; any use strictly after the assignment keeps the copy
+		// alive (it may be returned or passed on with the new value).
+		if lastUse <= w.stmt.End() {
+			pass.Reportf(w.stmt.Pos(),
+				"write to field %s of value receiver is never read: the method mutates a copy, use a pointer receiver", w.field)
+		}
+	}
+}

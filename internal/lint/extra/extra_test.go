@@ -1,0 +1,20 @@
+package extra_test
+
+import (
+	"testing"
+
+	"adjarray/internal/lint/extra"
+	"adjarray/internal/lint/linttest"
+)
+
+func TestNilness(t *testing.T) {
+	linttest.Run(t, "testdata/nilnesstest", extra.Nilness)
+}
+
+func TestShadow(t *testing.T) {
+	linttest.Run(t, "testdata/shadowtest", extra.Shadow)
+}
+
+func TestUnusedwrite(t *testing.T) {
+	linttest.Run(t, "testdata/unusedwritetest", extra.Unusedwrite)
+}

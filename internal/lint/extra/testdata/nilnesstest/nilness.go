@@ -1,0 +1,33 @@
+// Fixture for the bundled nilness port.
+package nilnesstest
+
+type node struct {
+	name string
+	next *node
+}
+
+func derefNil(p *node) string {
+	if p == nil {
+		return p.name // want `nil dereference: field name read through p, which is nil on this branch`
+	}
+	return p.name
+}
+
+// derefAfterRepair reassigns before the read: no finding.
+func derefAfterRepair(p *node) string {
+	if p == nil {
+		p = &node{}
+		return p.name
+	}
+	return p.name
+}
+
+// nilMethodOK calls a works-on-nil method: no finding.
+func nilMethodOK(p *node) bool {
+	if p == nil {
+		return p.isNil()
+	}
+	return false
+}
+
+func (p *node) isNil() bool { return p == nil }

@@ -1,0 +1,20 @@
+// Fixture for the bundled unusedwrite port.
+package unusedwritetest
+
+type counter struct{ n int }
+
+// bumpLost mutates a copy that evaporates on return.
+func (c counter) bumpLost() {
+	c.n = c.n + 1 // want `write to field n of value receiver is never read`
+}
+
+// bumpReturned passes the mutated copy on: no finding.
+func (c counter) bumpReturned() counter {
+	c.n = c.n + 1
+	return c
+}
+
+// bumpPointer writes through a pointer receiver: no finding.
+func (c *counter) bumpPointer() {
+	c.n = c.n + 1
+}

@@ -1,0 +1,160 @@
+// Package kernelopts statically rejects assoc.MulOptions combinations
+// that today only fail at runtime, deep inside a multiplication that
+// may be hours into an ingest:
+//
+//   - Kernel other than ""/"twophase" combined with Workers > 1 or
+//     Workers < 0 — the parallel path always runs the two-phase
+//     engine, so the kernel request would be silently impossible
+//     (assoc.Mul returns an error for exactly this);
+//   - Kernel strings outside the known set {"", "twophase",
+//     "gustavson", "hash", "merge"};
+//   - a masked multiplication (assoc.MulMasked/MulMaskedOpt) with a
+//     non-twophase kernel — the masked engine has no other variants.
+//
+// The check fires on assoc.MulOptions composite literals whose Kernel
+// and Workers fields are compile-time constants: at the literal itself
+// for the Kernel+Workers conflict and unknown kernels (an invalid
+// combination is invalid wherever the literal flows — including nested
+// inside stream.Options{Mul: …}), and at MulMaskedOpt call sites for
+// the mask/kernel conflict.
+package kernelopts
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"adjarray/internal/lint/analysis"
+	"adjarray/internal/lint/lintutil"
+)
+
+const assocPath = "adjarray/internal/assoc"
+
+var knownKernels = map[string]bool{"": true, "twophase": true, "gustavson": true, "hash": true, "merge": true}
+
+// Analyzer is the kernelopts pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "kernelopts",
+	Doc:  "flag statically-invalid assoc.MulOptions combinations (Kernel+Workers conflict, unknown kernels, masked multiply with a non-twophase kernel)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range lintutil.NonTestFiles(pass.Fset, pass.Files) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				checkLiteral(pass, x)
+			case *ast.CallExpr:
+				checkMaskedCall(pass, x)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkLiteral validates any assoc.MulOptions composite literal with
+// constant Kernel/Workers fields.
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	if !isMulOptions(pass.TypesInfo.TypeOf(lit)) || !keyed(lit) {
+		return
+	}
+	kernel, kernelKnown := constStringField(pass, lit, "Kernel")
+	workers, workersKnown := constIntField(pass, lit, "Workers")
+	if kernelKnown && !knownKernels[kernel] {
+		pass.Reportf(lit.Pos(),
+			"unknown SpGEMM kernel %q in assoc.MulOptions (known: twophase, gustavson, hash, merge); assoc.Mul will reject this at runtime", kernel)
+		return
+	}
+	if kernelKnown && workersKnown &&
+		kernel != "" && kernel != "twophase" && (workers > 1 || workers < 0) {
+		pass.Reportf(lit.Pos(),
+			"assoc.MulOptions requests kernel %q together with Workers=%d: the parallel path always runs the two-phase engine, so assoc.Mul rejects this combination at runtime — drop the Kernel or set Workers to 0/1", kernel, workers)
+	}
+}
+
+// checkMaskedCall validates assoc.MulMaskedOpt(_, _, _, _, opt) where
+// opt is a composite literal (or an untouched local initialized from
+// one) with a constant non-twophase Kernel.
+func checkMaskedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := lintutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != assocPath || fn.Name() != "MulMaskedOpt" {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.CompositeLit)
+	if !ok || !isMulOptions(pass.TypesInfo.TypeOf(lit)) || !keyed(lit) {
+		return
+	}
+	kernel, known := constStringField(pass, lit, "Kernel")
+	if known && kernel != "" && kernel != "twophase" {
+		pass.Reportf(call.Pos(),
+			"assoc.MulMaskedOpt has no %q kernel (masked multiplication is two-phase only); this call fails at runtime", kernel)
+	}
+}
+
+func isMulOptions(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	p, n := lintutil.NamedPath(t)
+	return p == assocPath && n == "MulOptions"
+}
+
+// constStringField returns the constant string value of a named field
+// in the literal; known is false when the field is absent or not a
+// compile-time constant. An absent Kernel field is the known constant
+// "" (the zero value) — same for Workers below — because an
+// unmentioned field in a keyed composite literal IS its zero value.
+func constStringField(pass *analysis.Pass, lit *ast.CompositeLit, name string) (string, bool) {
+	v, present := fieldValue(lit, name)
+	if !present {
+		return "", true
+	}
+	tv, ok := pass.TypesInfo.Types[v]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func constIntField(pass *analysis.Pass, lit *ast.CompositeLit, name string) (int64, bool) {
+	v, present := fieldValue(lit, name)
+	if !present {
+		return 0, true
+	}
+	tv, ok := pass.TypesInfo.Types[v]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	i, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return i, exact
+}
+
+// keyed reports whether every element of the literal is a key:value
+// pair. Positional MulOptions literals (not used in this repo) are
+// skipped entirely — "field absent" would be indistinguishable from
+// "field set positionally".
+func keyed(lit *ast.CompositeLit) bool {
+	for _, el := range lit.Elts {
+		if _, ok := el.(*ast.KeyValueExpr); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// fieldValue finds the value expression for a keyed field; present is
+// false when the field is not mentioned (so it holds its zero value).
+func fieldValue(lit *ast.CompositeLit, name string) (ast.Expr, bool) {
+	for _, el := range lit.Elts {
+		kv := el.(*ast.KeyValueExpr)
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+			return kv.Value, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,12 @@
+package kernelopts_test
+
+import (
+	"testing"
+
+	"adjarray/internal/lint/kernelopts"
+	"adjarray/internal/lint/linttest"
+)
+
+func TestKernelopts(t *testing.T) {
+	linttest.Run(t, "testdata/kerneloptstest", kernelopts.Analyzer)
+}

@@ -1,0 +1,39 @@
+// Fixture for the kernelopts analyzer, type-checked against the real
+// assoc package so the literals carry the genuine MulOptions type.
+package kerneloptstest
+
+import (
+	"adjarray/internal/assoc"
+	"adjarray/internal/semiring"
+)
+
+// badKernel misspells a kernel name; assoc.Mul would reject it at
+// runtime, possibly hours into an ingest.
+var badKernel = assoc.MulOptions{Kernel: "gustavsen"} // want `unknown SpGEMM kernel "gustavsen"`
+
+// conflict requests a serial-only kernel on the parallel path — the
+// PR 2 Kernel/Workers conflict.
+var conflict = assoc.MulOptions{Kernel: "hash", Workers: 8} // want `kernel "hash" together with Workers=8`
+
+// maskedBad pairs a mask with a non-twophase kernel — the masked
+// engine has no other variants.
+func maskedBad(a, b *assoc.Array[float64], mask *assoc.Array[float64], ops semiring.Ops[float64]) {
+	assoc.MulMaskedOpt(a, b, mask, ops, assoc.MulOptions{Kernel: "gustavson"}) // want `MulMaskedOpt has no "gustavson" kernel`
+}
+
+// The valid combinations stay silent.
+var (
+	okSerial   = assoc.MulOptions{Kernel: "merge"}
+	okParallel = assoc.MulOptions{Kernel: "twophase", Workers: 4}
+	okDefault  = assoc.MulOptions{Workers: 16, Grain: 64}
+)
+
+func maskedGood(a, b *assoc.Array[float64], mask *assoc.Array[float64], ops semiring.Ops[float64]) {
+	assoc.MulMaskedOpt(a, b, mask, ops, assoc.MulOptions{Kernel: "twophase", Workers: 2})
+}
+
+// runtimeKernel is not a compile-time constant: the analyzer stays
+// conservative and silent.
+func runtimeKernel(name string) assoc.MulOptions {
+	return assoc.MulOptions{Kernel: name, Workers: 8}
+}

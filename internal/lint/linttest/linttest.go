@@ -1,0 +1,206 @@
+// Package linttest is the adjlint counterpart of
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture
+// package from a testdata directory, runs one analyzer over it, and
+// matches the produced diagnostics against `// want` expectations in
+// the fixture source.
+//
+// Expectation syntax (the analysistest subset the fixtures use): a
+// line that should receive diagnostics carries a comment
+//
+//	// want `regexp` `another regexp`
+//
+// with one back-quoted regular expression per expected diagnostic on
+// that line. Every diagnostic must be matched by an expectation on its
+// line and every expectation must match exactly one diagnostic;
+// anything else fails the test with a per-line report.
+//
+// Fixture packages live under testdata/ (so `./...` never builds
+// their deliberate bugs) and may import real repo packages — imports
+// are resolved through compiled export data from the module's build
+// cache, exactly like the standalone driver.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"adjarray/internal/lint/analysis"
+	"adjarray/internal/lint/loader"
+)
+
+// Run loads the fixture package in dir, applies the analyzer, and
+// reports expectation mismatches on t. The fixture's package path is
+// its package name — scoped analyzers key off it (e.g. a package named
+// syncerrtest for syncerr.New("syncerrtest")).
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset, files, imports := parseFixture(t, dir)
+	pkg, info := typecheckFixture(t, fset, files, imports)
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: analyzer %s: %v", a.Name, err)
+	}
+	compare(t, fset, files, got)
+}
+
+// parseFixture reads every .go file in dir and collects its imports.
+func parseFixture(t *testing.T, dir string) (*token.FileSet, []*ast.File, map[string]bool) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+	return fset, files, imports
+}
+
+// RunNoFindings loads the fixture package in dir and asserts the
+// analyzer reports nothing, ignoring any `// want` comments. Scoped
+// analyzers use it to prove they stay silent off their scope.
+func RunNoFindings(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset, files, imports := parseFixture(t, dir)
+	pkg, info := typecheckFixture(t, fset, files, imports)
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report: func(d analysis.Diagnostic) {
+			t.Errorf("%s: unexpected diagnostic: %s", position(fset.Position(d.Pos)), d.Message)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: analyzer %s: %v", a.Name, err)
+	}
+}
+
+// typecheckFixture resolves fixture imports via `go list -export` over
+// the enclosing module (tests run inside it) and type-checks.
+func typecheckFixture(t *testing.T, fset *token.FileSet, files []*ast.File, imports map[string]bool) (*types.Package, *types.Info) {
+	t.Helper()
+	imp := fixtureImporter(t, fset, imports)
+	info := loader.NewInfo()
+	conf := &types.Config{Importer: imp}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: fixture does not type-check: %v", err)
+	}
+	return pkg, info
+}
+
+func fixtureImporter(t *testing.T, fset *token.FileSet, imports map[string]bool) types.Importer {
+	t.Helper()
+	if len(imports) == 0 {
+		return nil
+	}
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	exports, err := loader.ExportClosure("", paths...)
+	if err != nil {
+		t.Fatalf("linttest: resolving fixture imports: %v", err)
+	}
+	return loader.ExportImporter(fset, exports)
+}
+
+// expectation is one `// want`-declared regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(body, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s:%d: malformed want comment (no back-quoted regexps): %s", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", position(pos), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func position(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

@@ -1,0 +1,174 @@
+// Package lintutil holds the AST/types helpers the adjlint analyzers
+// share: callee resolution, receiver classification, directive
+// scanning, and the non-test file filter.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NonTestFiles returns the package files that are not _test.go files.
+// The adjlint analyzers gate production source: test files exercise
+// deliberate misuse (error-injection, fixtures for the runtime guards)
+// and are themselves checked dynamically by the suites they implement.
+func NonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	out := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Callee resolves the called function/method object of a call, or nil
+// for calls through function values, builtins, and type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// ReceiverType returns the receiver type of a method object with
+// pointers stripped, or nil for plain functions.
+func ReceiverType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return t
+}
+
+// NamedPath returns (package path, type name) for a named or aliased
+// type, following pointers, or ("", "") otherwise.
+func NamedPath(t types.Type) (string, string) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// IsMethodOn reports whether fn is a method named name whose receiver
+// (pointer-stripped) is the named type pkgPath.typeName.
+func IsMethodOn(fn *types.Func, pkgPath, typeName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	rt := ReceiverType(fn)
+	if rt == nil {
+		return false
+	}
+	p, n := NamedPath(rt)
+	return p == pkgPath && n == typeName
+}
+
+// IsFloat reports whether t's core type is a floating-point scalar.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// HasDirective reports whether any comment in the group is exactly the
+// given //adjlint: directive (e.g. "//adjlint:cow"), optionally
+// followed by whitespace and free text.
+func HasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHasDirective reports whether the function declaration carries
+// the directive in its doc comment.
+func FuncHasDirective(fd *ast.FuncDecl, directive string) bool {
+	return HasDirective(fd.Doc, directive)
+}
+
+// Obj resolves an identifier to its object (Uses or Defs).
+func Obj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// RootIdent peels selectors/index/paren/star expressions down to the
+// base identifier: v.srcPos[i] → v, (*p).f → p. Returns nil when the
+// base is not an identifier (a call result, composite literal, …).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// in stack (a path of ancestor nodes, outermost first) — the scope
+// unit the intra-procedural analyzers reason over.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// WalkStack traverses root, invoking fn with each node and the stack
+// of its ancestors (outermost first, excluding the node itself). A
+// false return prunes the subtree.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,228 @@
+// Package poolleak flags sync.Pool misuse of the kind that caused the
+// PR 5 scratch-aliasing bug: a Get result that escapes the function
+// (returned, stored into a field or global, sent on a channel) without
+// a matching Put, or a Get result that is both Put back AND retained
+// somewhere that outlives the function — after the Put, the pool may
+// hand the same object to another goroutine, so the retained alias is
+// a data race in waiting.
+//
+// The analysis is intra-procedural and conservative: it tracks
+// variables directly initialized from (*sync.Pool).Get (possibly
+// through a type assertion) and inspects the enclosing function for a
+// Put of the same variable and for escape sites.
+//
+// Sanctioned ownership transfer — a helper whose PURPOSE is to hand a
+// pooled object to its caller, with the paired Put in a sibling
+// release helper (the repo's getAccBox/releaseKernelScratch pattern) —
+// is annotated at the function level:
+//
+//	//adjlint:pool-transfer
+//
+// on the helper's doc comment. Inside such a function the
+// escape-without-Put check is suppressed (the retain-after-Put check
+// still applies).
+package poolleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"adjarray/internal/lint/analysis"
+	"adjarray/internal/lint/lintutil"
+)
+
+// TransferDirective marks a function that intentionally transfers
+// ownership of a pooled object to its caller.
+const TransferDirective = "//adjlint:pool-transfer"
+
+// Analyzer is the poolleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolleak",
+	Doc:  "flag sync.Pool.Get results that escape without a Put, or stay reachable after the Put (scratch aliasing)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range lintutil.NonTestFiles(pass.Fset, pass.Files) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body, lintutil.FuncHasDirective(fd, TransferDirective))
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc analyzes one function body. Function literals inside it
+// are analyzed as part of the same body: a closure returning a pooled
+// object still leaks it from the pool's perspective.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, transfer bool) {
+	// 1. Collect Get-result variables: x := pool.Get().(T) / x := pool.Get().
+	gets := map[types.Object]*ast.CallExpr{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call := getCall(pass, rhs)
+			if call == nil || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				if obj := lintutil.Obj(pass.TypesInfo, id); obj != nil {
+					gets[obj] = call
+				}
+			}
+		}
+		return true
+	})
+
+	// Direct escape of an unnamed Get: return pool.Get().(T).
+	if !transfer {
+		ast.Inspect(body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if call := getCall(pass, res); call != nil {
+					pass.Reportf(call.Pos(),
+						"sync.Pool.Get result returned without a matching Put; if this helper transfers ownership, annotate it %s", TransferDirective)
+				}
+			}
+			return true
+		})
+	}
+
+	// 2. For each tracked variable, find Puts and escapes.
+	for obj, getCall := range gets {
+		put := findPut(pass, body, obj)
+		escape := findEscape(pass, body, obj)
+		switch {
+		case put == nil && escape != nil && !transfer:
+			pass.Reportf(escape.Pos(),
+				"sync.Pool.Get result %q escapes the function without a matching Put; pool it back or annotate the helper %s", obj.Name(), TransferDirective)
+		case put != nil && escape != nil && escape.Pos() != getCall.Pos():
+			pass.Reportf(escape.Pos(),
+				"sync.Pool.Get result %q is retained here but also Put back at line %d: after the Put the pool may hand it to another goroutine (aliasing race)",
+				obj.Name(), pass.Fset.Position(put.Pos()).Line)
+		}
+	}
+}
+
+// getCall matches (*sync.Pool).Get() with optional type assertion and
+// parens, returning the Get call or nil.
+func getCall(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.TypeAssertExpr:
+		return getCall(pass, x.X)
+	case *ast.CallExpr:
+		fn := lintutil.Callee(pass.TypesInfo, x)
+		if lintutil.IsMethodOn(fn, "sync", "Pool", "Get") {
+			return x
+		}
+	}
+	return nil
+}
+
+// findPut returns a (*sync.Pool).Put call whose argument is obj (or a
+// parenthesized/asserted spelling of it), or nil.
+func findPut(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) *ast.CallExpr {
+	var put *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || put != nil {
+			return put == nil
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if !lintutil.IsMethodOn(fn, "sync", "Pool", "Put") || len(call.Args) != 1 {
+			return true
+		}
+		if id := lintutil.RootIdent(call.Args[0]); id != nil && lintutil.Obj(pass.TypesInfo, id) == obj {
+			put = call
+			return false
+		}
+		return true
+	})
+	return put
+}
+
+// findEscape returns a node where obj escapes the function: returned,
+// assigned into a selector/index/global, appended into something
+// assigned to a selector, or sent on a channel. Passing obj to a call
+// is NOT treated as an escape (the callee is usually the consumer that
+// puts it back); storing it is.
+func findEscape(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) ast.Node {
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && lintutil.Obj(pass.TypesInfo, id) == obj
+	}
+	var escape ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escape != nil {
+			return false
+		}
+		switch stmt := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range stmt.Results {
+				if isObj(r) {
+					escape = stmt
+				}
+			}
+		case *ast.SendStmt:
+			if isObj(stmt.Value) {
+				escape = stmt
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range stmt.Lhs {
+				target := ast.Unparen(lhs)
+				stored := false
+				switch t := target.(type) {
+				case *ast.SelectorExpr:
+					stored = true // field or qualified global
+				case *ast.IndexExpr:
+					stored = true // element of something longer-lived
+				case *ast.Ident:
+					// Assigning to a package-level variable escapes.
+					if o := lintutil.Obj(pass.TypesInfo, t); o != nil && o.Parent() == pass.Pkg.Scope() {
+						stored = true
+					}
+				}
+				if !stored || i >= len(stmt.Rhs) && len(stmt.Rhs) != 1 {
+					continue
+				}
+				rhs := stmt.Rhs[0]
+				if len(stmt.Rhs) == len(stmt.Lhs) {
+					rhs = stmt.Rhs[i]
+				}
+				if isObj(rhs) || appendsObj(pass, rhs, isObj) {
+					escape = stmt
+				}
+			}
+		}
+		return escape == nil
+	})
+	return escape
+}
+
+// appendsObj matches append(…, obj, …) spellings on the RHS of a
+// store.
+func appendsObj(pass *analysis.Pass, e ast.Expr, isObj func(ast.Expr) bool) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if isObj(arg) {
+			return true
+		}
+	}
+	return false
+}

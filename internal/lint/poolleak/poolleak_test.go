@@ -1,0 +1,12 @@
+package poolleak_test
+
+import (
+	"testing"
+
+	"adjarray/internal/lint/linttest"
+	"adjarray/internal/lint/poolleak"
+)
+
+func TestPoolleak(t *testing.T) {
+	linttest.Run(t, "testdata/poolleaktest", poolleak.Analyzer)
+}

@@ -1,0 +1,52 @@
+// Fixture for the poolleak analyzer: sync.Pool scratch escaping or
+// aliased after Put — the PR 5 kernel-scratch bug class.
+package poolleaktest
+
+import "sync"
+
+type box struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(box) }}
+
+var global *box
+
+// leakReturn hands a pooled object straight out without the transfer
+// annotation.
+func leakReturn() *box {
+	return pool.Get().(*box) // want `sync\.Pool\.Get result returned without a matching Put`
+}
+
+// leakGlobal parks a pooled object in a package-level variable.
+func leakGlobal() {
+	b := pool.Get().(*box)
+	global = b // want `sync\.Pool\.Get result "b" escapes the function without a matching Put`
+}
+
+// retainAfterPut returns an alias to an object already handed back:
+// the pool may give it to another goroutine while the caller still
+// holds it.
+func retainAfterPut() *box {
+	b := pool.Get().(*box)
+	pool.Put(b)
+	return b // want `retained here but also Put back at line`
+}
+
+// useLocal is the correct borrow pattern: get, use, put, no alias
+// survives. No finding.
+func useLocal() int {
+	b := pool.Get().(*box)
+	n := len(b.b)
+	pool.Put(b)
+	return n
+}
+
+// getBox is the repo's getAccBox/releaseKernelScratch ownership
+// transfer, sanctioned by annotation: no finding.
+//
+//adjlint:pool-transfer
+func getBox() *box {
+	return pool.Get().(*box)
+}
+
+// putBox is the paired release helper.
+func putBox(b *box) { pool.Put(b) }

@@ -1,0 +1,20 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"adjarray/internal/lint/linttest"
+	"adjarray/internal/lint/syncerr"
+)
+
+func TestSyncerr(t *testing.T) {
+	linttest.Run(t, "testdata/syncerrtest", syncerr.New("syncerrtest"))
+}
+
+// TestOutOfScope runs the same fixture under a scope that cannot match
+// its package: every deliberate discard in the fixture must then go
+// unreported, proving the analyzer stays silent off the durable write
+// path.
+func TestOutOfScope(t *testing.T) {
+	linttest.RunNoFindings(t, "testdata/syncerrtest", syncerr.New("some/other/path"))
+}

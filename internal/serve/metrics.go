@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"adjarray/internal/core"
+	"adjarray/internal/keys"
 	"adjarray/internal/obs"
 )
 
@@ -62,6 +63,7 @@ func newMetrics(reg *obs.Registry, ing *core.Ingest) *metrics {
 	// Ingest positions, pulled from the view(s) at scrape time. The
 	// per-scrape Stats() call takes the view lock briefly — the same
 	// cost as one /stats request.
+	registerInternerGauges(reg, ing)
 	if sv := ing.Sharded(); sv != nil {
 		reg.CounterFunc("adjserve_ingest_edges_total",
 			"Edges ever applied to the view (rate() of this is the ingest rate).",
@@ -74,7 +76,6 @@ func newMetrics(reg *obs.Registry, ing *core.Ingest) *metrics {
 			func() float64 { return float64(sv.Stats().Pending) })
 		for i := 0; i < sv.Shards(); i++ {
 			shard := obs.Label{Name: "shard", Value: strconv.Itoa(i)}
-			i := i
 			reg.CounterFunc("adjserve_shard_epoch",
 				"Batches applied per shard (the consistency vector).",
 				func() float64 { return float64(sv.Stats().PerShard[i].Epoch) }, shard)
@@ -108,6 +109,39 @@ func newMetrics(reg *obs.Registry, ing *core.Ingest) *metrics {
 		}
 	}
 	return m
+}
+
+// registerInternerGauges exports the key-interner footprint: the slab
+// is the dominant steady-state memory of a long-lived ingest (key bytes
+// are never evicted), so operators need its growth rate on /metrics,
+// not just in heap profiles. Lock-free on the view — the interners
+// synchronize internally.
+func registerInternerGauges(reg *obs.Registry, ing *core.Ingest) {
+	stats := func() (out, in keys.InternerStats) { return ing.View().InternerStats() }
+	if sv := ing.Sharded(); sv != nil {
+		stats = sv.InternerStats
+	}
+	for _, side := range []struct {
+		label obs.Label
+		pick  func(out, in keys.InternerStats) keys.InternerStats
+	}{
+		{obs.Label{Name: "side", Value: "out"}, func(out, _ keys.InternerStats) keys.InternerStats { return out }},
+		{obs.Label{Name: "side", Value: "in"}, func(_, in keys.InternerStats) keys.InternerStats { return in }},
+	} {
+		pick := side.pick
+		reg.GaugeFunc("adjserve_interner_slab_bytes",
+			"Key bytes held by the interner slab (append-only; never shrinks).",
+			func() float64 { return float64(pick(stats()).SlabBytes) }, side.label)
+		reg.GaugeFunc("adjserve_interner_table_slots",
+			"Open-addressed interner table capacity.",
+			func() float64 { return float64(pick(stats()).TableSlot) }, side.label)
+	}
+	reg.GaugeFunc("adjserve_interner_keys",
+		"Distinct keys interned across both sides.",
+		func() float64 {
+			out, in := stats()
+			return float64(out.Keys + in.Keys)
+		})
 }
 
 // observeEpochs records snapshot pins so the epoch-age gauge knows

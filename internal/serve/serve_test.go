@@ -135,6 +135,58 @@ func TestMetricsContent(t *testing.T) {
 	}
 }
 
+// scrapeMetric returns the value of the first exposition line starting
+// with the given series name (including any label set).
+func scrapeMetric(t *testing.T, s *Server, series string) float64 {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if !strings.HasPrefix(line, series) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("/metrics has no series %q", series)
+	return 0
+}
+
+// The interner gauges must track ingest: interning fresh vertex keys
+// grows the slab and the key count, and the gauges see it on the next
+// scrape (they poll the live interners, no caching layer).
+func TestInternerGauges(t *testing.T) {
+	s, ing := triangleServer(t)
+	slabOut := scrapeMetric(t, s, `adjserve_interner_slab_bytes{side="out"}`)
+	slabIn := scrapeMetric(t, s, `adjserve_interner_slab_bytes{side="in"}`)
+	keys0 := scrapeMetric(t, s, "adjserve_interner_keys")
+	if slabOut <= 0 || slabIn <= 0 || keys0 <= 0 {
+		t.Fatalf("gauges empty after seeding: slab out=%v in=%v keys=%v", slabOut, slabIn, keys0)
+	}
+	if slots := scrapeMetric(t, s, `adjserve_interner_table_slots{side="out"}`); slots <= 0 {
+		t.Fatalf("table slots gauge = %v", slots)
+	}
+	seedEdges(t, ing,
+		[2]string{"fresh-source-vertex", "fresh-destination-vertex"},
+		[2]string{"another-new-source", "another-new-destination"})
+	if got := scrapeMetric(t, s, `adjserve_interner_slab_bytes{side="out"}`); got <= slabOut {
+		t.Errorf("out slab bytes did not grow: %v -> %v", slabOut, got)
+	}
+	if got := scrapeMetric(t, s, `adjserve_interner_slab_bytes{side="in"}`); got <= slabIn {
+		t.Errorf("in slab bytes did not grow: %v -> %v", slabIn, got)
+	}
+	if got := scrapeMetric(t, s, "adjserve_interner_keys"); got != keys0+4 {
+		t.Errorf("interner keys = %v after 4 fresh endpoint keys, want %v", got, keys0+4)
+	}
+}
+
 // Regression (bugfix 4): /pagerank must reject out-of-domain
 // parameters with 400 instead of burning the iteration budget on a
 // divergent or NaN fixpoint.

@@ -25,7 +25,11 @@ import (
 // does not interpret values; use Prune to drop explicit zeros.
 //
 // The zero value is an empty 0×0 matrix. CSR values are immutable by
-// convention once built; all methods return new matrices.
+// convention once built; all methods return new matrices. Snapshot
+// layers alias these slices, so in-place element writes are restricted
+// to the annotated builder/merge writers.
+//
+//adjlint:cow
 type CSR[V any] struct {
 	rows, cols int
 	rowPtr     []int // len rows+1
@@ -125,7 +129,10 @@ func (m *CSR[V]) Clone() *CSR[V] {
 	return out
 }
 
-// Map applies fn to every stored value, preserving the pattern.
+// Map applies fn to every stored value, preserving the pattern. The
+// writes land on a fresh Clone, never the receiver.
+//
+//adjlint:cow-writer
 func (m *CSR[V]) Map(fn func(i, j int, v V) V) *CSR[V] {
 	out := m.Clone()
 	for i := 0; i < out.rows; i++ {

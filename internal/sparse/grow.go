@@ -243,6 +243,8 @@ func (s *MergeScratch[V]) take(rows int) (rowPtr, colIdx []int, val []V) {
 // outstanding shared snapshots). In every other case a fresh exact-size
 // matrix is returned and dst is left untouched; with a non-nil scratch
 // the fresh matrix steals the scratch backing instead of allocating.
+//
+//adjlint:cow-writer
 func EWiseAddInto[V any](dst, src *CSR[V], ops semiring.Ops[V], inPlace bool, scratch *MergeScratch[V]) (*CSR[V], error) {
 	if err := sameShape(dst, src); err != nil {
 		return nil, err

@@ -18,6 +18,8 @@ import (
 //
 // workers <= 1 (or a matrix too small to split) degrades to the serial
 // kernel, so callers need no special-case.
+//
+//adjlint:cow-writer
 func EWiseAddIntoParallel[V any](dst, src *CSR[V], ops semiring.Ops[V], inPlace bool, scratch *MergeScratch[V], workers int) (*CSR[V], error) {
 	if err := sameShape(dst, src); err != nil {
 		return nil, err

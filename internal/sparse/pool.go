@@ -37,6 +37,10 @@ var stampPool = sync.Pool{New: func() any { return new(stampBox) }}
 // getStampBox returns a stamp box with room for `cols` columns. Growth
 // resets current: a fresh array is all zeros, and starting current at 0
 // with a pre-increment on first use keeps stamps strictly positive.
+// Ownership transfers to the caller; releaseKernelScratch is the paired
+// Put.
+//
+//adjlint:pool-transfer
 func getStampBox(cols int) *stampBox {
 	b := stampPool.Get().(*stampBox)
 	if cap(b.stamp) < cols {
@@ -73,6 +77,10 @@ func accPoolFor[V any]() *sync.Pool {
 	return actual.(*sync.Pool)
 }
 
+// getAccBox hands the box to the caller; releaseKernelScratch returns
+// it.
+//
+//adjlint:pool-transfer
 func getAccBox[V any](pool *sync.Pool, cols int) *accBox[V] {
 	b := pool.Get().(*accBox[V])
 	if cap(b.acc) < cols {
@@ -117,6 +125,9 @@ type int64Box struct{ xs []int64 }
 
 var int64Pool = sync.Pool{New: func() any { return new(int64Box) }}
 
+// getInt64 hands the box to the caller; putInt64 is the paired Put.
+//
+//adjlint:pool-transfer
 func getInt64(n int) *int64Box {
 	b := int64Pool.Get().(*int64Box)
 	if cap(b.xs) < n {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"adjarray/internal/keys"
 	"adjarray/internal/semiring"
 	"adjarray/internal/wal"
 )
@@ -341,6 +342,9 @@ func (d *DurableView[V]) View() *View[V] { return d.v }
 // Stats returns the in-memory view's counters.
 func (d *DurableView[V]) Stats() Stats { return d.v.Stats() }
 
+// InternerStats delegates to the wrapped view's interners.
+func (d *DurableView[V]) InternerStats() (out, in keys.InternerStats) { return d.v.InternerStats() }
+
 // Recovery reports what Open found on disk.
 func (d *DurableView[V]) Recovery() RecoveryInfo { return d.recovery }
 
@@ -398,7 +402,7 @@ func (d *DurableView[V]) Abort() {
 	if !d.closed {
 		d.closed = true
 		close(d.done)
-		d.w.Close()
+		d.w.Close() //adjlint:ignore syncerr deliberate crash simulation; losing unsynced bytes is the point
 	}
 	d.mu.Unlock()
 	d.bg.Wait()

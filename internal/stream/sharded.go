@@ -176,7 +176,7 @@ func OpenSharded[V any](dir string, ops semiring.Ops[V], opt ShardedOptions, dop
 		d, err := Open(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)), ops, dopt)
 		if err != nil {
 			for j := 0; j < i; j++ {
-				sv.durables[j].Close()
+				sv.durables[j].Close() //adjlint:ignore syncerr sibling unwind on open failure; the Open error is the one returned
 			}
 			return nil, fmt.Errorf("stream: shard %d: %w", i, err)
 		}
@@ -389,6 +389,23 @@ func (sv *ShardedView[V]) Stats() ShardedStats {
 		st.Exact = st.Exact && s.Exact
 	}
 	return st
+}
+
+// InternerStats sums the per-shard interner footprints. Each shard
+// interns only the keys its rows own, so the sums are the store-wide
+// slab bytes and table capacity; Keys may count a key once per shard
+// side that sees it.
+func (sv *ShardedView[V]) InternerStats() (out, in keys.InternerStats) {
+	for _, v := range sv.views {
+		o, i := v.InternerStats()
+		out.Keys += o.Keys
+		out.SlabBytes += o.SlabBytes
+		out.TableSlot += o.TableSlot
+		in.Keys += i.Keys
+		in.SlabBytes += i.SlabBytes
+		in.TableSlot += i.TableSlot
+	}
+	return out, in
 }
 
 // Durability returns each shard's durability position, nil for

@@ -166,7 +166,8 @@ type View[V any] struct {
 	// universe). The position arrays are REPLACED, never mutated, when
 	// the universe grows, so the InternIndex bindings handed to older
 	// Sets keep describing the universe those Sets froze.
-	srcIn, dstIn   *keys.Interner
+	srcIn, dstIn *keys.Interner
+	//adjlint:cow
 	srcPos, dstPos []int32
 
 	main       *assoc.Array[V] // materialized adjacency (snapshots share it); always spans the log's vertex universe
@@ -1387,6 +1388,14 @@ type Stats struct {
 	Appends     int  // batches since the last compact
 	Epoch       int  // batches ever applied
 	Exact       bool // see Snapshot.Exact
+}
+
+// InternerStats reports the footprint of the out-side (source) and
+// in-side (destination) key interners. The interner pointers are fixed
+// at construction and the interners lock internally, so no view lock is
+// taken — safe to poll from a metrics scrape at any ingest rate.
+func (v *View[V]) InternerStats() (out, in keys.InternerStats) {
+	return v.srcIn.Stats(), v.dstIn.Stats()
 }
 
 // Stats returns current counters.

@@ -54,6 +54,9 @@ func WriteCheckpoint(dir string, seq uint64, payload []byte) (string, error) {
 		return "", err
 	}
 	tmpPath := tmp.Name()
+	// Best-effort unwind of a temp file that was never published; the
+	// write/sync error that triggered cleanup is the one returned.
+	//adjlint:ignore syncerr error-path cleanup of unpublished temp file
 	cleanup := func() { tmp.Close(); os.Remove(tmpPath) }
 	if _, err := tmp.Write(buf); err != nil {
 		cleanup()

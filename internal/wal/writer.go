@@ -127,7 +127,7 @@ func (w *Writer) openSegment() error {
 	// once at creation, or recovery may find records in a file that is
 	// not there.
 	if err := syncDir(w.dir); err != nil {
-		f.Close()
+		f.Close() //adjlint:ignore syncerr error-path close; the syncDir failure is the one reported
 		return err
 	}
 	w.f, w.path, w.size = f, path, 0
