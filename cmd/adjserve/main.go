@@ -30,6 +30,7 @@
 //	GET /at?src=a&dst=b      one adjacency entry
 //	GET /row?src=a           one row of the adjacency array
 //	GET /triples?limit=n     adjacency triples, capped (default 10000, clamped to -triples-max)
+//	POST /ingest             append a batch of edges ({"edges":[{"src":..,"dst":..},...]})
 //	GET /bfs?src=a           breadth-first levels from a   (CSR kernels)
 //	GET /sssp?src=a          min.+ shortest-path distances from a
 //	GET /widest?src=a        max.min bottleneck widths from a
@@ -57,6 +58,15 @@
 // final covering checkpoint before the process exits. A sharded
 // durable store keeps one WAL/checkpoint directory per shard plus a
 // SHARDS meta file; reopening adopts the recorded shard count.
+//
+// A storage fault (failed fsync, ENOSPC, I/O error on the WAL) wedges
+// the durable store read-only rather than risking silent data loss.
+// Without -serve that is fatal; with -serve the process keeps
+// answering every read endpoint from the last good snapshot while
+// ingest sheds — stdin ingest stops with a logged warning and POST
+// /ingest answers 503 + Retry-After. /healthz and the
+// adjserve_storage_* metrics report the ok → degraded → read-only
+// state machine; recovery is a restart against the repaired disk.
 //
 // The process exits when the input stream ends (unless -serve keeps it
 // answering queries) and shuts down cleanly on SIGINT/SIGTERM.
@@ -286,6 +296,13 @@ func run(cfg config) error {
 					return
 				case <-t.C:
 					if err := f.flush(); err != nil {
+						if errors.Is(err, stream.ErrReadOnly) {
+							// The store wedged read-only; the server keeps
+							// answering reads, so stop flushing instead of
+							// killing the process.
+							fmt.Fprintln(os.Stderr, "adjserve: storage read-only; periodic flush stopped:", err)
+							return
+						}
 						fatal <- fmt.Errorf("flush: %w", err)
 						return
 					}
@@ -308,10 +325,20 @@ func run(cfg config) error {
 	ingested := make(chan error, 1)
 	go func() { ingested <- ingest(src, cfg.keyed, f) }()
 
+	readOnly := false
 	select {
 	case err := <-ingested:
 		if err != nil {
-			return err
+			if srv == nil || !errors.Is(err, stream.ErrReadOnly) {
+				return err
+			}
+			// Degraded mode: the durable store wedged read-only
+			// mid-stream. Without a server that is fatal; with one, the
+			// read endpoints still answer from the last good snapshot, so
+			// shed ingest and keep serving until the operator restarts
+			// against the repaired disk.
+			readOnly = true
+			fmt.Fprintln(os.Stderr, "adjserve: storage read-only; stream ingest stopped, still serving reads:", err)
 		}
 	case err := <-fatal:
 		return err
@@ -325,6 +352,17 @@ func run(cfg config) error {
 	}
 	close(flushStop)
 	flushWG.Wait()
+
+	if readOnly {
+		// Skip the final flush and stats — both would just re-report the
+		// wedge — and park in the serving loop.
+		select {
+		case <-ctx.Done():
+			return nil
+		case err := <-fatal:
+			return err
+		}
+	}
 
 	if err := f.flush(); err != nil {
 		return err

@@ -39,6 +39,23 @@ type row struct {
 	// the tail gets its own column.
 	P99Ns  int64 `json:"p99_ns,omitempty"`
 	P999Ns int64 `json:"p999_ns,omitempty"`
+	// Outcome counts, also loadgen-only: answered requests, 429s shed
+	// by admission control, 503s shed by a degraded (read-only) store.
+	// Diffed as rates so a fault-injection arm's shed trajectory is
+	// comparable across runs with different request counts.
+	Requests int `json:"requests,omitempty"`
+	Shed     int `json:"shed,omitempty"`
+	Degraded int `json:"degraded,omitempty"`
+}
+
+// shedRate is the fraction of an endpoint's answered+shed traffic that
+// was refused (429 admission + 503 degraded), as a percentage.
+func shedRate(r row) (float64, bool) {
+	total := r.Requests + r.Shed + r.Degraded
+	if total == 0 {
+		return 0, false
+	}
+	return float64(r.Shed+r.Degraded) / float64(total) * 100, true
 }
 
 type baseline struct {
@@ -115,9 +132,15 @@ func main() {
 		if o.P99Ns > 0 && n.P99Ns > 0 {
 			p99 = fmt.Sprintf("%s→%s", ms(o.P99Ns), ms(n.P99Ns))
 		}
-		rows = append(rows, []string{k, ms(o.BuildNs), ms(n.BuildNs), delta, p99, alloc})
+		shed := ""
+		if or, ok := shedRate(o); ok {
+			if nr, ok := shedRate(n); ok {
+				shed = fmt.Sprintf("%.1f%%→%.1f%%", or, nr)
+			}
+		}
+		rows = append(rows, []string{k, ms(o.BuildNs), ms(n.BuildNs), delta, p99, shed, alloc})
 	}
-	fmt.Print(render.Columns([]string{"configuration", "old", "new", "delta", "p99", "allocs_op"}, rows))
+	fmt.Print(render.Columns([]string{"configuration", "old", "new", "delta", "p99", "shed", "allocs_op"}, rows))
 
 	report := func(label string, only map[string]row, other map[string]row) {
 		var ks []string

@@ -25,10 +25,20 @@
 // refuses with the typed corruption error. Silent wrongness is the one
 // outcome that must never happen.
 //
+// With -faults the harness runs randomized disk-fault schedules in
+// process (internal/iofault: EIO, ENOSPC, short writes, torn writes
+// against the live WAL and checkpoint paths) and asserts the wedge
+// contract — no failed fsync advances the durable boundary, the store
+// goes read-only and stays there, and a clean reopen is bit-identical
+// to the oracle over everything acknowledged — plus a scripted
+// degraded-mode serving scenario where every read endpoint must answer
+// non-5xx while ingest sheds 503.
+//
 // Usage:
 //
 //	crashtest -iters 50 -seed 7
 //	crashtest -iters 200 -dir /mnt/scratch -corrupt=false
+//	crashtest -iters 0 -corrupt=false -shards 1 -fault-schedules 50
 package main
 
 import (
@@ -70,6 +80,8 @@ func main() {
 	flag.IntVar(&cfg.KillAfterMaxMS, "kill-after-max-ms", 30, "upper bound on the random delay before SIGKILL")
 	corrupt := flag.Bool("corrupt", true, "also run the corruption-injection scenarios")
 	shards := flag.Int("shards", 3, "also run the sharded kill-and-recover harness with this many shards (<= 1 disables)")
+	faults := flag.Bool("faults", true, "run the randomized disk-fault schedule suite and the scripted degraded-serving scenario")
+	faultSchedules := flag.Int("fault-schedules", 50, "randomized fault schedules for -faults (0 disables the schedule loop)")
 	flag.Parse()
 
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, "crashtest: "+format+"\n", args...) }
@@ -82,14 +94,18 @@ func main() {
 		defer os.RemoveAll(dir)
 		cfg.Dir = dir
 	}
-	if err := runHarness(cfg, logf); err != nil {
-		logf("FAIL: %v", err)
-		os.Exit(1)
-	}
-	if *shards > 1 {
-		if err := runShardedHarness(cfg, *shards, logf); err != nil {
+	// -iters 0 skips the kill harnesses entirely (e.g. a CI arm that
+	// only runs the fault-schedule suite).
+	if cfg.Iters > 0 {
+		if err := runHarness(cfg, logf); err != nil {
 			logf("FAIL: %v", err)
 			os.Exit(1)
+		}
+		if *shards > 1 {
+			if err := runShardedHarness(cfg, *shards, logf); err != nil {
+				logf("FAIL: %v", err)
+				os.Exit(1)
+			}
 		}
 	}
 	if *corrupt {
@@ -100,6 +116,18 @@ func main() {
 			}
 		}
 		if err := runCorruption(filepath.Join(cfg.Dir, "corrupt"), cfg.Seed, logf); err != nil {
+			logf("FAIL: %v", err)
+			os.Exit(1)
+		}
+	}
+	if *faults {
+		if *faultSchedules > 0 {
+			if err := runFaultSchedules(filepath.Join(cfg.Dir, "faults"), cfg.Seed, *faultSchedules, logf); err != nil {
+				logf("FAIL: %v", err)
+				os.Exit(1)
+			}
+		}
+		if err := runDegradedServing(filepath.Join(cfg.Dir, "degraded-serve"), cfg.Seed, logf); err != nil {
 			logf("FAIL: %v", err)
 			os.Exit(1)
 		}

@@ -74,6 +74,31 @@ func TestShardedKillAndRecover(t *testing.T) {
 	}
 }
 
+// TestFaultSchedules is the -faults acceptance gate: randomized disk-
+// fault schedules against one store, each verified for the wedge
+// contract (durable boundary frozen at the last ack, sticky read-only)
+// and bit-identical recovery. Full mode runs the 50 schedules the
+// acceptance criteria name; -short keeps the race run in budget.
+func TestFaultSchedules(t *testing.T) {
+	n := 50
+	if testing.Short() {
+		n = 12
+	}
+	if err := runFaultSchedules(t.TempDir(), 13, n, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegradedServing scripts the serving half: a wedged store behind
+// the HTTP front door must shed ingest with 503 + Retry-After while
+// every read endpoint stays non-5xx, and the acked data must survive a
+// clean reopen.
+func TestDegradedServing(t *testing.T) {
+	if err := runDegradedServing(t.TempDir(), 13, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestShardedTornShardDirectory kills exactly one shard directory of a
 // cleanly written store (torn WAL tail) and proves the other shards are
 // untouched, the gathered adjacency matches the oracle over the uneven

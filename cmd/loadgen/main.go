@@ -4,7 +4,15 @@
 // rather than hidden by back-pressure as a closed loop would) with
 // zipfian vertex popularity — matching the R-MAT degree skew, so the
 // hot vertices of the graph are also the hot vertices of the workload —
-// and reports per-endpoint p50/p99/p999 latency plus shed (429) counts.
+// and reports per-endpoint p50/p99/p999 latency plus shed (429) and
+// degraded (503, a read-only store shedding ingest) counts as distinct
+// columns.
+//
+// With -ingest-weight > 0 the mix includes POST /ingest writes, so the
+// harness can measure a degraded store: when storage wedges read-only,
+// ingest 503s land in the degraded column while read latencies keep
+// being measured — benchdiff then diffs the shed/degraded rates
+// between baselines.
 //
 // With no -target it self-serves: it builds an in-process ingest,
 // loads an R-MAT graph, and mounts the same serve.New front door that
@@ -44,17 +52,18 @@ import (
 )
 
 type config struct {
-	target     string
-	scale      int
-	edgeFactor int
-	shards     int
-	seed       int64
-	rate       float64
-	duration   time.Duration
-	maxOut     int
-	zipfS      float64
-	batchOps   int
-	jsonPath   string
+	target       string
+	scale        int
+	edgeFactor   int
+	shards       int
+	seed         int64
+	rate         float64
+	duration     time.Duration
+	maxOut       int
+	zipfS        float64
+	batchOps     int
+	ingestWeight int
+	jsonPath     string
 }
 
 func main() {
@@ -69,6 +78,7 @@ func main() {
 	flag.IntVar(&cfg.maxOut, "max-outstanding", 512, "bound on concurrent in-flight requests; arrivals beyond it are dropped and counted")
 	flag.Float64Var(&cfg.zipfS, "zipf-s", 1.2, "zipf exponent for vertex popularity (>1)")
 	flag.IntVar(&cfg.batchOps, "batch-ops", 8, "ops per POST /batch request")
+	flag.IntVar(&cfg.ingestWeight, "ingest-weight", 0, "mix weight for POST /ingest writes (0 = read-only workload)")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write results as a graphbench-schema baseline to this path")
 	flag.Parse()
 
@@ -91,10 +101,12 @@ func main() {
 // stream of algorithm queries and batches — the shape a front door
 // actually sees, and enough pressure on both admission pools to
 // exercise shedding under overload.
-var mix = []struct {
+type arm struct {
 	name   string
 	weight int
-}{
+}
+
+var mix = []arm{
 	{"/at", 35},
 	{"/row", 25},
 	{"/bfs", 15},
@@ -107,11 +119,13 @@ type endpointStats struct {
 	mu        sync.Mutex
 	latencies []time.Duration // successful (2xx) requests only
 	shed      int             // 429: admission control working as designed
+	degraded  int             // 503: a read-only store shedding writes
 	errors    int             // anything else
 }
 
 type summary struct {
 	cfg        config
+	mix        []arm
 	byEndpoint map[string]*endpointStats
 	dropped    int // arrivals beyond max-outstanding, never sent
 	offered    int
@@ -131,8 +145,11 @@ func run(cfg config) (*summary, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.seed))
 
-	sum := &summary{cfg: cfg, byEndpoint: map[string]*endpointStats{}, workers: runtime.GOMAXPROCS(0)}
-	for _, m := range mix {
+	sum := &summary{cfg: cfg, mix: mix, byEndpoint: map[string]*endpointStats{}, workers: runtime.GOMAXPROCS(0)}
+	if cfg.ingestWeight > 0 {
+		sum.mix = append(append([]arm{}, mix...), arm{"/ingest", cfg.ingestWeight})
+	}
+	for _, m := range sum.mix {
 		sum.byEndpoint[m.name] = &endpointStats{}
 	}
 
@@ -176,7 +193,7 @@ func run(cfg config) (*summary, error) {
 	// The arrival process owns the randomness; worker goroutines only
 	// execute the request they were handed.
 	weightTotal := 0
-	for _, m := range mix {
+	for _, m := range sum.mix {
 		weightTotal += m.weight
 	}
 	for time.Now().Before(deadline) {
@@ -184,8 +201,8 @@ func run(cfg config) (*summary, error) {
 		time.Sleep(time.Duration(rng.ExpFloat64() / cfg.rate * float64(time.Second)))
 		sum.offered++
 		w := rng.Intn(weightTotal)
-		endpoint := mix[0].name
-		for _, m := range mix {
+		endpoint := sum.mix[0].name
+		for _, m := range sum.mix {
 			if w < m.weight {
 				endpoint = m.name
 				break
@@ -204,6 +221,8 @@ func run(cfg config) (*summary, error) {
 			url = fmt.Sprintf("%s/pagerank?iters=50", base)
 		case "/batch":
 			method, url, body = "POST", base+"/batch", batchBody(cfg.batchOps, pick)
+		case "/ingest":
+			method, url, body = "POST", base+"/ingest", ingestBody(cfg.batchOps, pick)
 		}
 		select {
 		case tokens <- struct{}{}:
@@ -241,10 +260,24 @@ func batchBody(n int, pick func() string) string {
 	return string(raw)
 }
 
+// ingestBody builds a POST /ingest payload of unkeyed edges between
+// zipf-picked vertices (keys auto-assign server-side, so concurrent
+// write arms compose).
+func ingestBody(n int, pick func() string) string {
+	edges := make([]map[string]any, n)
+	for i := range edges {
+		edges[i] = map[string]any{"src": pick(), "dst": pick()}
+	}
+	raw, _ := json.Marshal(map[string]any{"edges": edges})
+	return string(raw)
+}
+
 // fire executes one request and records it. 404 (a zipf-picked vertex
 // the ingest never saw as a source) counts as success for latency
-// purposes — the server did its work; 429 is shed; other non-2xx are
-// errors.
+// purposes — the server did its work; 429 is shed (admission control);
+// 503 is degraded (a read-only store shedding writes) and counted
+// distinctly so a fault-injection run can diff shed rates; other
+// non-2xx are errors.
 func fire(client *http.Client, st *endpointStats, method, url, body string) {
 	t0 := time.Now()
 	var resp *http.Response
@@ -269,6 +302,8 @@ func fire(client *http.Client, st *endpointStats, method, url, body string) {
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
 		st.shed++
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		st.degraded++
 	case resp.StatusCode < 300 || resp.StatusCode == http.StatusNotFound:
 		st.latencies = append(st.latencies, lat)
 	default:
@@ -376,20 +411,21 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 }
 
 type endpointResult struct {
-	endpoint         string
-	count, shed, err int
-	p50, p99, p999   time.Duration
+	endpoint                   string
+	count, shed, degraded, err int
+	p50, p99, p999             time.Duration
 }
 
 func (s *summary) results() []endpointResult {
 	var out []endpointResult
-	for _, m := range mix {
+	for _, m := range s.mix {
 		st := s.byEndpoint[m.name]
 		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
 		out = append(out, endpointResult{
 			endpoint: m.name,
 			count:    len(st.latencies),
 			shed:     st.shed,
+			degraded: st.degraded,
 			err:      st.errors,
 			p50:      percentile(st.latencies, 0.50),
 			p99:      percentile(st.latencies, 0.99),
@@ -401,24 +437,26 @@ func (s *summary) results() []endpointResult {
 
 func (s *summary) table() string {
 	var rows [][]string
-	total, shed := 0, 0
+	total, shed, degraded := 0, 0, 0
 	for _, r := range s.results() {
 		rows = append(rows, []string{
 			r.endpoint,
 			fmt.Sprintf("%d", r.count),
 			fmt.Sprintf("%d", r.shed),
+			fmt.Sprintf("%d", r.degraded),
 			fmt.Sprintf("%d", r.err),
 			r.p50.String(),
 			r.p99.String(),
 			r.p999.String(),
 		})
-		total += r.count + r.shed + r.err
+		total += r.count + r.shed + r.degraded + r.err
 		shed += r.shed
+		degraded += r.degraded
 	}
 	head := fmt.Sprintf(
-		"offered %d requests over %s (%.0f/s target), %d answered, %d shed (429), %d dropped client-side\n",
-		s.offered, s.elapsed.Round(time.Millisecond), s.cfg.rate, total, shed, s.dropped)
-	return head + render.Columns([]string{"endpoint", "ok", "shed", "err", "p50", "p99", "p999"}, rows)
+		"offered %d requests over %s (%.0f/s target), %d answered, %d shed (429), %d degraded (503), %d dropped client-side\n",
+		s.offered, s.elapsed.Round(time.Millisecond), s.cfg.rate, total, shed, degraded, s.dropped)
+	return head + render.Columns([]string{"endpoint", "ok", "shed", "503", "err", "p50", "p99", "p999"}, rows)
 }
 
 // jsonRow mirrors the graphbench baseline schema so cmd/benchdiff can
@@ -441,6 +479,7 @@ type jsonRow struct {
 	P999Ns    int64  `json:"p999_ns"`
 	Requests  int    `json:"requests"`
 	Shed      int    `json:"shed"`
+	Degraded  int    `json:"degraded"`
 }
 
 type jsonBaseline struct {
@@ -474,6 +513,7 @@ func (s *summary) writeJSON(path string, now time.Time) error {
 			P999Ns:    r.p999.Nanoseconds(),
 			Requests:  r.count,
 			Shed:      r.shed,
+			Degraded:  r.degraded,
 		})
 	}
 	data, err := json.MarshalIndent(b, "", "  ")

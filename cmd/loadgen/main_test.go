@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
@@ -44,7 +46,7 @@ func TestLoadgenSmokeSelfServe(t *testing.T) {
 		if r.p50 > r.p99 || r.p99 > r.p999 {
 			t.Errorf("%s: percentiles not monotone: %v %v %v", r.endpoint, r.p50, r.p99, r.p999)
 		}
-		answered += r.count + r.shed + r.err
+		answered += r.count + r.shed + r.degraded + r.err
 	}
 	if answered+sum.dropped != sum.offered {
 		t.Fatalf("answered %d + dropped %d != offered %d", answered, sum.dropped, sum.offered)
@@ -112,6 +114,48 @@ func TestBatchBody(t *testing.T) {
 		case "at", "row", "bfs":
 		default:
 			t.Fatalf("unexpected op %v", op["op"])
+		}
+	}
+}
+
+// TestFireCountsDegradedDistinctly: 503 (a read-only store shedding
+// writes) must land in its own column — not shed (429), not error — so
+// benchdiff can diff degraded rates between baselines.
+func TestFireCountsDegradedDistinctly(t *testing.T) {
+	codes := map[string]int{
+		"/ok":       http.StatusOK,
+		"/shed":     http.StatusTooManyRequests,
+		"/degraded": http.StatusServiceUnavailable,
+		"/err":      http.StatusInternalServerError,
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(codes[r.URL.Path])
+	}))
+	defer ts.Close()
+	st := &endpointStats{}
+	for path := range codes {
+		fire(ts.Client(), st, "GET", ts.URL+path, "")
+	}
+	if len(st.latencies) != 1 || st.shed != 1 || st.degraded != 1 || st.errors != 1 {
+		t.Fatalf("ok=%d shed=%d degraded=%d err=%d, want 1 each",
+			len(st.latencies), st.shed, st.degraded, st.errors)
+	}
+}
+
+func TestIngestBody(t *testing.T) {
+	body := ingestBody(4, func() string { return "v000002" })
+	var req struct {
+		Edges []map[string]any `json:"edges"`
+	}
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Edges) != 4 {
+		t.Fatalf("edges = %d, want 4", len(req.Edges))
+	}
+	for _, e := range req.Edges {
+		if e["src"] != "v000002" || e["dst"] != "v000002" || e["key"] != nil {
+			t.Fatalf("malformed edge %v (keys must auto-assign server-side)", e)
 		}
 	}
 }

@@ -56,6 +56,16 @@
 //     429 + Retry-After, and POST /batch answering many ops from one
 //     pinned snapshot; cmd/loadgen drives it with open-model zipfian
 //     load and records per-endpoint latency percentiles (BENCH_7.json);
+//   - fault tolerance: internal/iofault injects deterministic disk
+//     faults (EIO, ENOSPC, short and torn writes) through a VFS seam
+//     under the WAL and durable views; a failed fsync or log write
+//     wedges the store read-only — the durable boundary never advances
+//     past a failed sync — while failed checkpoints only degrade, and
+//     the front door keeps serving reads from the last good snapshot,
+//     shedding ingest as 503 + Retry-After (/healthz and the
+//     adjserve_storage_* metrics expose the ok → degraded → read-only
+//     state machine; cmd/crashtest -faults gates the contract with
+//     randomized fault schedules held bit-identical to the oracle);
 //   - static analysis: internal/lint + cmd/adjlint is a go/analysis-
 //     style suite that mechanically gates the invariants past PRs had
 //     to find by hand — nondeterministic ⊕-folds over map iteration,

@@ -144,6 +144,41 @@ func (in *Ingest) Flush() error {
 	return err
 }
 
+// AppendBatch appends pre-batched edges directly to the underlying
+// view, bypassing the Add/Flush accumulator. Unlike Add/Flush it is
+// safe for concurrent use — the views serialize internally — which is
+// what a network ingest endpoint needs. Edges buffered in the
+// accumulator are unaffected; the usual key discipline applies across
+// both paths. When the durable store is read-only (storage failure)
+// the error matches stream.ErrReadOnly.
+func (in *Ingest) AppendBatch(edges []stream.Edge[float64]) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	switch {
+	case in.sharded != nil:
+		return in.sharded.Append(edges)
+	case in.durable != nil:
+		return in.durable.Append(edges)
+	default:
+		return in.view.Append(edges)
+	}
+}
+
+// StorageHealth reports the storage-health aggregate (the worst shard,
+// for sharded ingests) and the per-shard breakdown (nil unless sharded
+// and durable). In-memory ingests are always ok.
+func (in *Ingest) StorageHealth() (stream.StorageHealth, []stream.StorageHealth) {
+	switch {
+	case in.sharded != nil:
+		return in.sharded.StorageHealth()
+	case in.durable != nil:
+		return in.durable.StorageHealth(), nil
+	default:
+		return stream.StorageHealth{}, nil
+	}
+}
+
 // Snapshot flushes and returns a consistent read view including every
 // edge Add-ed so far. For a sharded ingest this is the flattened
 // scatter-gather snapshot: per-shard epochs pinned as one vector, the

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"adjarray/internal/core"
+	"adjarray/internal/iofault"
+	"adjarray/internal/stream"
+	"adjarray/internal/wal"
+)
+
+func postIngest(t *testing.T, h http.Handler, body string) (int, http.Header, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/ingest", strings.NewReader(body))
+	h.ServeHTTP(rec, req)
+	var resp map[string]any
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("POST /ingest: bad JSON: %v", err)
+		}
+	}
+	return rec.Code, rec.Header(), resp
+}
+
+// TestIngestDegradedMode is the end-to-end degraded-mode contract: a
+// storage fault wedges the durable store read-only, POST /ingest sheds
+// 503 + Retry-After, every read endpoint keeps answering from the last
+// good snapshot, and /healthz + /metrics report the state machine.
+func TestIngestDegradedMode(t *testing.T) {
+	inj := iofault.New()
+	ing := newTestIngest(t, core.IngestOptions{
+		DataDir: t.TempDir(),
+		Durable: stream.DurableOptions[float64]{
+			WAL: wal.Options{Policy: wal.SyncEveryAppend},
+			FS:  iofault.Wrap(iofault.OS, inj),
+		},
+	})
+	defer ing.Close() //adjlint:ignore syncerr the store is wedged by design; the shutdown error is the wedge
+
+	s := New(ing, Options{})
+
+	// Healthy path: append over HTTP, read it back.
+	code, _, resp := postIngest(t, s, `{"edges":[{"src":"a","dst":"b"},{"src":"b","dst":"c"},{"src":"a","dst":"c","out":2,"in":3}]}`)
+	if code != http.StatusOK || resp["appended"] != float64(3) {
+		t.Fatalf("healthy ingest: code %d resp %v", code, resp)
+	}
+	if code, at := get(t, s, "/at?src=a&dst=c"); code != http.StatusOK || at["value"] != float64(6) {
+		t.Fatalf("weighted read-back: code %d body %v", code, at)
+	}
+	if _, hz := get(t, s, "/healthz"); hz["storage"] != "ok" {
+		t.Fatalf("healthy /healthz storage = %v, want ok", hz["storage"])
+	}
+
+	// One failed fsync on the WAL segment wedges the store.
+	inj.Arm(iofault.Rule{Op: iofault.OpSync, Path: "wal-", Kind: iofault.EIO, Count: 1})
+	code, hdr, _ := postIngest(t, s, `{"edges":[{"src":"c","dst":"d"}]}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest over failed fsync: code %d, want 503", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("503 must carry a Retry-After hint")
+	}
+
+	// The fault budget is spent — the "disk" is healthy again — but the
+	// wedge is sticky: ingest keeps shedding.
+	if code, _, _ := postIngest(t, s, `{"edges":[{"src":"e","dst":"f"}]}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest after wedge: code %d, want 503", code)
+	}
+
+	// Every read endpoint keeps serving. The wedging batch committed to
+	// the in-memory view before its fsync failed (view-first append), so
+	// c→d is visible; the post-wedge batch was refused outright, so e→f
+	// is not.
+	for _, path := range []string{"/at?src=a&dst=b", "/row?src=a", "/triples", "/bfs?src=a", "/stats"} {
+		if code, _ := get(t, s, path); code != http.StatusOK {
+			t.Fatalf("GET %s in read-only mode: code %d, want 200", path, code)
+		}
+	}
+	if _, at := get(t, s, "/at?src=c&dst=d"); at["stored"] != true {
+		t.Fatal("the wedging batch committed to the view; c→d must be visible")
+	}
+	if _, at := get(t, s, "/at?src=e&dst=f"); at["stored"] != false {
+		t.Fatal("a post-wedge batch must not reach the view")
+	}
+
+	// /healthz stays ok (liveness) but reports the state machine.
+	_, hz := get(t, s, "/healthz")
+	if hz["ok"] != true {
+		t.Fatalf("read-only mode must not fail liveness: %v", hz)
+	}
+	if hz["storage"] != "read-only" {
+		t.Fatalf("/healthz storage = %v, want read-only", hz["storage"])
+	}
+	if f, ok := hz["storage_faults"].(float64); !ok || f < 1 {
+		t.Fatalf("/healthz storage_faults = %v, want >= 1", hz["storage_faults"])
+	}
+	if hz["storage_error"] == "" {
+		t.Fatal("/healthz must carry the storage error")
+	}
+
+	// /metrics exposes the gauge at 2 (read-only) and the shed counter.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	exposition := rec.Body.String()
+	for _, want := range []string{
+		"adjserve_storage_state 2",
+		"adjserve_ingest_shed_readonly_total 2",
+		"adjserve_storage_faults_total",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestIngestEndpointValidation covers the non-storage refusals: wrong
+// method, empty and malformed bodies, oversized batches, missing
+// endpoints — none of which may touch the view.
+func TestIngestEndpointValidation(t *testing.T) {
+	ing := newTestIngest(t, core.IngestOptions{})
+	s := New(ing, Options{MaxIngestEdges: 2})
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/ingest", nil))
+	if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("Allow") != "POST" {
+		t.Fatalf("GET /ingest: code %d Allow %q", rec.Code, rec.Header().Get("Allow"))
+	}
+
+	for body, want := range map[string]int{
+		`{"edges":[]}`:            http.StatusBadRequest,
+		`not json`:                http.StatusBadRequest,
+		`{"edges":[{"src":"a"}]}`: http.StatusBadRequest,
+		`{"edges":[{"src":"a","dst":"b"},{"src":"b","dst":"c"},{"src":"c","dst":"d"}]}`: http.StatusRequestEntityTooLarge,
+	} {
+		if code, _, _ := postIngest(t, s, body); code != want {
+			t.Errorf("POST /ingest %q: code %d, want %d", body, code, want)
+		}
+	}
+	if snap, err := ing.Snapshot(); err != nil || snap.Adjacency.NNZ() != 0 {
+		t.Fatalf("refused batches must not touch the view: nnz %d err %v", snap.Adjacency.NNZ(), err)
+	}
+
+	// An explicitly weighted zero annihilates (stored=false) but is
+	// still a valid append.
+	if code, _, resp := postIngest(t, s, `{"edges":[{"src":"x","dst":"y","out":0,"in":1}]}`); code != http.StatusOK || resp["appended"] != float64(1) {
+		t.Fatalf("weighted-zero append: code %d resp %v", code, resp)
+	}
+}

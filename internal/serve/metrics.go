@@ -27,6 +27,8 @@ type metrics struct {
 	cacheRebuilds *obs.Counter
 	cacheStale    *obs.Counter
 
+	ingestShed *obs.Counter
+
 	// Snapshot epoch age: how long since the served epoch vector last
 	// advanced — the staleness a reader observes, as distinct from WAL
 	// lag (what a crash would lose).
@@ -52,6 +54,17 @@ func newMetrics(reg *obs.Registry, ing *core.Ingest) *metrics {
 		"Graph rebuilds after the snapshot epoch vector advanced.")
 	m.cacheStale = reg.Counter("adjserve_graph_cache_stale_serves_total",
 		"Queries that pinned an older snapshot than the cached Graph and were served uncached.")
+	m.ingestShed = reg.Counter("adjserve_ingest_shed_readonly_total",
+		"POST /ingest requests answered 503 because the durable store is read-only.")
+	// Storage-health state machine, pulled at scrape time. State is the
+	// worst shard (0 ok, 1 degraded, 2 read-only); faults sum across
+	// shards over WAL appends, fsyncs, and checkpoint attempts.
+	reg.GaugeFunc("adjserve_storage_state",
+		"Storage health: 0 ok, 1 degraded (checkpoints failing), 2 read-only (WAL wedged; worst shard).",
+		func() float64 { agg, _ := ing.StorageHealth(); return float64(agg.State) })
+	reg.CounterFunc("adjserve_storage_faults_total",
+		"Storage faults observed across WAL writes, fsyncs, and checkpoints (all shards).",
+		func() float64 { agg, _ := ing.StorageHealth(); return float64(agg.Faults) })
 	reg.GaugeFunc("adjserve_snapshot_epoch_age_seconds",
 		"Seconds since the served snapshot epoch vector last advanced.",
 		func() float64 {

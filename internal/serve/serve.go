@@ -15,6 +15,12 @@
 //   - Batched queries: POST /batch executes many ops against ONE
 //     pinned snapshot and one cached Graph, amortizing the epoch-vector
 //     gather and the id-space embedding across the whole request.
+//   - Degraded-mode serving: POST /ingest appends edges over HTTP;
+//     when a storage fault wedges the durable store read-only the
+//     ingest path sheds 503 + Retry-After while every read endpoint
+//     keeps answering from the last good snapshot. /healthz reports the
+//     ok → degraded → read-only state machine and /metrics exposes it
+//     as adjserve_storage_state / adjserve_storage_faults_total.
 //
 // Every response carries the epoch vector its snapshot was pinned at,
 // so clients can order reads across shards.
@@ -57,6 +63,10 @@ type Options struct {
 	MaxIters int
 	// MaxBatchOps bounds ops per POST /batch request (default 256).
 	MaxBatchOps int
+	// MaxIngestEdges bounds edges per POST /ingest request (default
+	// 10000): one append batch is applied atomically under the view
+	// lock, so its size is a latency bound on every concurrent reader.
+	MaxIngestEdges int
 	// ReadWorkers and ReadQueue bound the cheap-read pool: concurrent
 	// /at, /row, /triples executions and how many may wait (defaults
 	// 64 and 256).
@@ -89,6 +99,7 @@ func (o Options) withDefaults() Options {
 	def(&o.TriplesMax, 100000)
 	def(&o.MaxIters, 1000)
 	def(&o.MaxBatchOps, 256)
+	def(&o.MaxIngestEdges, 10000)
 	def(&o.ReadWorkers, 64)
 	def(&o.AlgoWorkers, runtime.GOMAXPROCS(0))
 	if o.ReadQueue == 0 {
@@ -162,6 +173,9 @@ func (s *Server) routes() {
 	handle("/stats", nil, s.handleStats)
 	handle("/healthz", nil, s.handleHealthz)
 	handle("/metrics", nil, s.met.reg.Handler().ServeHTTP)
+	// /ingest bypasses the read/algo pools — its backpressure is the
+	// storage state machine (503 on read-only), not queue depth.
+	handle("/ingest", nil, s.handleIngest)
 	handle("/at", s.readPool, s.handleAt)
 	handle("/row", s.readPool, s.handleRow)
 	handle("/triples", s.readPool, s.handleTriples)
@@ -362,7 +376,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// "ok" is liveness — the process answers — and stays true in
+	// degraded and read-only modes: a read-only store still serves every
+	// read endpoint, so an orchestrator must not kill the process over
+	// it. The storage fields carry the ok → degraded → read-only state
+	// machine for alerting.
 	resp := map[string]any{"ok": true, "durable": false}
+	agg, per := s.ing.StorageHealth()
+	resp["storage"] = agg.State.String()
+	if agg.Faults > 0 {
+		resp["storage_faults"] = agg.Faults
+	}
+	if agg.Err != "" {
+		resp["storage_error"] = agg.Err
+	}
+	if len(per) > 0 {
+		states := make([]string, len(per))
+		for i, h := range per {
+			states[i] = h.State.String()
+		}
+		resp["storage_shards"] = states
+	}
 	if sv := s.ing.Sharded(); sv != nil {
 		resp["shards"] = sv.Shards()
 		if durs := sv.Durability(); durs != nil {

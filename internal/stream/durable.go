@@ -1,10 +1,13 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"adjarray/internal/iofault"
 	"adjarray/internal/keys"
 	"adjarray/internal/semiring"
 	"adjarray/internal/wal"
@@ -32,6 +35,19 @@ type DurableOptions[V any] struct {
 	// newest is the recovery source, older ones are corruption
 	// fallbacks). <= 0 selects 2.
 	KeepCheckpoints int
+	// FS routes every durable byte — WAL segments, checkpoints,
+	// directory fsyncs — through a filesystem seam; nil selects the
+	// real filesystem. Tests and the crashtest harness install an
+	// iofault.FaultFS here.
+	FS iofault.FS
+	// CheckpointRetries is how many extra attempts a failed checkpoint
+	// write gets before the attempt is abandoned until the next
+	// trigger (transient ENOSPC/EIO may clear). <= 0 selects 2.
+	CheckpointRetries int
+	// CheckpointBackoff is the delay before the first checkpoint
+	// retry, doubling each retry. Appends stall for the backoff total
+	// in the worst case, so it stays small. <= 0 selects 5ms.
+	CheckpointBackoff time.Duration
 }
 
 // RecoveryInfo describes what Open found on disk.
@@ -48,7 +64,73 @@ type RecoveryInfo struct {
 	// TornBytes is how many trailing bytes were truncated from the log
 	// as an interrupted final write (0: the log ended cleanly).
 	TornBytes int64
+	// ReapedTempFiles is how many orphaned checkpoint temp files
+	// (ckpt-*.tmp, leftovers of a write that died mid-publish) Open
+	// removed.
+	ReapedTempFiles int
 }
+
+// StorageState is the storage-health state machine a durable view
+// surfaces: ok → degraded → read-only.
+type StorageState int
+
+const (
+	// StorageOK: the durable path is healthy.
+	StorageOK StorageState = iota
+	// StorageDegraded: the last checkpoint attempt failed (after
+	// retries). Appends still work and remain durable through the WAL;
+	// replay time and log size grow until a checkpoint succeeds. The
+	// state clears on the next successful checkpoint.
+	StorageDegraded
+	// StorageReadOnly: a WAL write or fsync failed. The write path is
+	// permanently wedged (see wal.WedgedError); appends are refused
+	// with ErrReadOnly while reads keep serving the in-memory view.
+	// Recovery is reopening the directory once the fault clears.
+	StorageReadOnly
+)
+
+func (s StorageState) String() string {
+	switch s {
+	case StorageOK:
+		return "ok"
+	case StorageDegraded:
+		return "degraded"
+	case StorageReadOnly:
+		return "read-only"
+	default:
+		return fmt.Sprintf("StorageState(%d)", int(s))
+	}
+}
+
+// StorageHealth is one durable store's position in the state machine.
+type StorageHealth struct {
+	// State is ok, degraded, or read-only.
+	State StorageState
+	// Faults counts I/O faults observed on the durable path since
+	// Open (failed WAL writes/fsyncs, failed checkpoint attempts).
+	Faults uint64
+	// Err is the sticky failure (read-only) or the last checkpoint
+	// error (degraded); "" when ok.
+	Err string
+}
+
+// ErrReadOnly matches the error a durable view's Append returns once a
+// storage failure has wedged the write path:
+// errors.Is(err, stream.ErrReadOnly). Reads stay available; serving
+// layers map this to 503 + Retry-After.
+var ErrReadOnly = errors.New("stream: storage is read-only")
+
+// readOnlyError carries the underlying storage failure behind
+// ErrReadOnly.
+type readOnlyError struct{ err error }
+
+func (e *readOnlyError) Error() string {
+	return "stream: durable view is read-only (storage failed): " + e.err.Error()
+}
+
+func (e *readOnlyError) Unwrap() error { return e.err }
+
+func (e *readOnlyError) Is(target error) bool { return target == ErrReadOnly }
 
 // DurabilityStats reports a durable view's position for health
 // endpoints.
@@ -67,6 +149,8 @@ type DurabilityStats struct {
 	Policy string
 	// Recovery is what the last Open found.
 	Recovery RecoveryInfo
+	// Storage is the store's storage-health state.
+	Storage StorageHealth
 }
 
 // DurableView is a View whose appended batches survive process death:
@@ -92,12 +176,15 @@ type DurableView[V any] struct {
 	v     *View[V]
 	w     *wal.Writer
 	dir   string
+	fs    iofault.FS
 	codec ValueCodec[V]
 	opt   DurableOptions[V]
 
 	ckptSeq uint64 // newest on-disk checkpoint's covered seq
 	buf     []byte // record encode scratch, reused under mu
 	failed  error  // sticky: a WAL write failed after the view applied
+	ckptErr error  // last checkpoint failure (degraded); nil after success
+	faults  atomic.Uint64
 	closed  bool
 
 	recovery RecoveryInfo
@@ -109,10 +196,11 @@ type DurableView[V any] struct {
 
 // Open recovers (or creates) a durable view in dir: it loads the
 // newest valid checkpoint, replays the WAL records past it through the
-// normal Append path, repairs a torn final record, and opens a fresh
-// log segment for new batches. Mid-log corruption and
-// every-checkpoint-invalid states fail with an error matching
-// wal.ErrCorrupt — never a silently diverged view.
+// normal Append path, repairs a torn final record, reaps orphaned
+// checkpoint temp files, and opens a fresh log segment for new
+// batches. Mid-log corruption and every-checkpoint-invalid states fail
+// with an error matching wal.ErrCorrupt — never a silently diverged
+// view.
 func Open[V any](dir string, ops semiring.Ops[V], opt DurableOptions[V]) (*DurableView[V], error) {
 	codec := opt.Codec
 	if codec.Append == nil || codec.Decode == nil {
@@ -124,9 +212,27 @@ func Open[V any](dir string, ops semiring.Ops[V], opt DurableOptions[V]) (*Durab
 	if opt.KeepCheckpoints <= 0 {
 		opt.KeepCheckpoints = 2
 	}
+	if opt.CheckpointRetries <= 0 {
+		opt.CheckpointRetries = 2
+	}
+	if opt.CheckpointBackoff <= 0 {
+		opt.CheckpointBackoff = 5 * time.Millisecond
+	}
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = iofault.OS
+	}
+	opt.WAL.FS = fsys
 
 	var rec RecoveryInfo
-	payload, ckptSeq, skipped, err := wal.LoadCheckpoint(dir)
+	// A temp file is never a recovery source; reap orphans before
+	// looking for checkpoints so they cannot accumulate across crashes.
+	reaped, err := wal.ReapTempCheckpoints(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	rec.ReapedTempFiles = reaped
+	payload, ckptSeq, skipped, err := wal.LoadCheckpointFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +252,7 @@ func Open[V any](dir string, ops semiring.Ops[V], opt DurableOptions[V]) (*Durab
 	}
 
 	expect := ckptSeq
-	st, err := wal.Replay(dir, ckptSeq, func(seq uint64, payload []byte) error {
+	st, err := wal.ReplayFS(fsys, dir, ckptSeq, func(seq uint64, payload []byte) error {
 		if seq != expect+1 {
 			return fmt.Errorf("stream: replay reached seq %d at view epoch %d", seq, expect)
 		}
@@ -175,7 +281,7 @@ func Open[V any](dir string, ops semiring.Ops[V], opt DurableOptions[V]) (*Durab
 		return nil, err
 	}
 	d := &DurableView[V]{
-		v: v, w: w, dir: dir, codec: codec, opt: opt,
+		v: v, w: w, dir: dir, fs: fsys, codec: codec, opt: opt,
 		ckptSeq: ckptSeq, recovery: rec,
 		notify: make(chan struct{}, 1), done: make(chan struct{}),
 	}
@@ -207,11 +313,10 @@ func (d *DurableView[V]) checkpointLoop() {
 		}
 		d.mu.Lock()
 		if !d.closed && d.failed == nil && d.epochLocked() > d.ckptSeq {
-			// Errors here surface on the next explicit Checkpoint/Close;
-			// the sticky failure marker keeps them from being lost.
-			if err := d.checkpointLocked(); err != nil {
-				d.failed = err
-			}
+			// A failed checkpoint degrades the store (d.ckptErr, set
+			// inside) but must NOT wedge it: the batches are already
+			// durable through the WAL, and the next trigger retries.
+			d.checkpointLocked() //adjlint:ignore syncerr degraded state carries the error; the next trigger retries
 		}
 		d.mu.Unlock()
 	}
@@ -229,6 +334,10 @@ func (d *DurableView[V]) epochLocked() uint64 {
 // WAL under the configured fsync policy. When the policy is
 // SyncEveryAppend the batch is durable when Append returns; otherwise
 // durability trails by at most the sync interval (see DurableEpoch).
+//
+// Once a WAL write or fsync has failed the store is read-only: every
+// further Append returns an error matching ErrReadOnly and the durable
+// boundary never advances past the last successful fsync.
 func (d *DurableView[V]) Append(edges []Edge[V]) error {
 	if len(edges) == 0 {
 		return nil
@@ -239,7 +348,7 @@ func (d *DurableView[V]) Append(edges []Edge[V]) error {
 		return fmt.Errorf("stream: durable view is closed")
 	}
 	if d.failed != nil {
-		return fmt.Errorf("stream: durable view failed: %w", d.failed)
+		return &readOnlyError{err: d.failed}
 	}
 	d.buf = appendBatch(d.buf[:0], edges, d.codec)
 	before := d.epochLocked()
@@ -253,16 +362,14 @@ func (d *DurableView[V]) Append(edges []Edge[V]) error {
 		// epoch advanced, so the log record must still be written to
 		// keep seq == epoch; the maintenance error is reported after.
 		if _, werr := d.w.Append(d.buf); werr != nil {
-			d.failed = werr
-			return werr
+			return d.storageFailedLocked(werr)
 		}
 		return err
 	}
 	if _, err := d.w.Append(d.buf); err != nil {
 		// The view is now ahead of the log; acknowledging further
 		// batches would promise durability the log cannot deliver.
-		d.failed = err
-		return err
+		return d.storageFailedLocked(err)
 	}
 	if d.opt.CheckpointEvery > 0 && d.epochLocked()-d.ckptSeq >= uint64(d.opt.CheckpointEvery) {
 		select {
@@ -273,6 +380,16 @@ func (d *DurableView[V]) Append(edges []Edge[V]) error {
 	return nil
 }
 
+// storageFailedLocked records the sticky WAL failure and returns it
+// wrapped so it (and every subsequent refusal) matches ErrReadOnly.
+func (d *DurableView[V]) storageFailedLocked(err error) error {
+	if d.failed == nil {
+		d.failed = err
+		d.faults.Add(1)
+	}
+	return &readOnlyError{err: d.failed}
+}
+
 // Sync forces the log to stable storage, advancing DurableEpoch to
 // Epoch regardless of policy.
 func (d *DurableView[V]) Sync() error {
@@ -281,12 +398,20 @@ func (d *DurableView[V]) Sync() error {
 	if d.closed {
 		return fmt.Errorf("stream: durable view is closed")
 	}
-	return d.w.Sync()
+	if d.failed != nil {
+		return &readOnlyError{err: d.failed}
+	}
+	if err := d.w.Sync(); err != nil {
+		return d.storageFailedLocked(err)
+	}
+	return nil
 }
 
 // Checkpoint writes a full-state checkpoint covering everything
 // appended so far, then retires log segments and old checkpoints it
-// supersedes.
+// supersedes. Transient write faults are retried with capped backoff;
+// a checkpoint that still fails leaves the store degraded (WAL
+// durability is unaffected) until a later attempt succeeds.
 func (d *DurableView[V]) Checkpoint() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -294,7 +419,7 @@ func (d *DurableView[V]) Checkpoint() error {
 		return fmt.Errorf("stream: durable view is closed")
 	}
 	if d.failed != nil {
-		return fmt.Errorf("stream: durable view failed: %w", d.failed)
+		return &readOnlyError{err: d.failed}
 	}
 	return d.checkpointLocked()
 }
@@ -310,6 +435,8 @@ func (d *DurableView[V]) checkpointLocked() error {
 		err = v.embedMainLocked(v.eout.ColKeys(), v.ein.ColKeys())
 	}
 	if err != nil {
+		// A view-maintenance failure, not a storage fault: report it
+		// without touching the storage-health state.
 		v.mu.Unlock()
 		return err
 	}
@@ -319,15 +446,41 @@ func (d *DurableView[V]) checkpointLocked() error {
 	if seq == d.ckptSeq {
 		return nil
 	}
-	if _, err := wal.WriteCheckpoint(d.dir, seq, payload); err != nil {
-		return err
+	// The write phase retries: ENOSPC/EIO can be transient (space
+	// freed, path remounted), and the temp-file dance is idempotent.
+	// Appends stall on d.mu for the backoff total, so it stays capped.
+	backoff := d.opt.CheckpointBackoff
+	for attempt := 0; ; attempt++ {
+		_, err = wal.WriteCheckpointFS(d.fs, d.dir, seq, payload)
+		if err == nil {
+			break
+		}
+		d.faults.Add(1)
+		// The failed attempt may have orphaned its temp file (its own
+		// cleanup can fault too); reap best-effort.
+		wal.ReapTempCheckpoints(d.fs, d.dir) //adjlint:ignore syncerr best-effort reap; the write error is the one reported
+		if attempt >= d.opt.CheckpointRetries {
+			d.ckptErr = err
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
 	}
 	d.ckptSeq = seq
-	if _, err := wal.RetireCheckpoints(d.dir, d.opt.KeepCheckpoints); err != nil {
+	d.ckptErr = nil
+	if _, err := wal.RetireCheckpointsFS(d.fs, d.dir, d.opt.KeepCheckpoints); err != nil {
+		// The checkpoint itself is durable; failed retirement only
+		// leaves extra files behind. Degraded, not fatal.
+		d.faults.Add(1)
+		d.ckptErr = err
 		return err
 	}
-	_, err = wal.RetireSegments(d.dir, seq)
-	return err
+	if _, err := wal.RetireSegmentsFS(d.fs, d.dir, seq); err != nil {
+		d.faults.Add(1)
+		d.ckptErr = err
+		return err
+	}
+	return nil
 }
 
 // Snapshot returns an immutable read view, exactly as View.Snapshot.
@@ -347,6 +500,27 @@ func (d *DurableView[V]) InternerStats() (out, in keys.InternerStats) { return d
 
 // Recovery reports what Open found on disk.
 func (d *DurableView[V]) Recovery() RecoveryInfo { return d.recovery }
+
+// StorageHealth reports the store's position in the ok → degraded →
+// read-only state machine.
+func (d *DurableView[V]) StorageHealth() StorageHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.storageHealthLocked()
+}
+
+func (d *DurableView[V]) storageHealthLocked() StorageHealth {
+	h := StorageHealth{Faults: d.faults.Load()}
+	switch {
+	case d.failed != nil:
+		h.State = StorageReadOnly
+		h.Err = d.failed.Error()
+	case d.ckptErr != nil:
+		h.State = StorageDegraded
+		h.Err = d.ckptErr.Error()
+	}
+	return h
+}
 
 // Durability reports the view's durability position.
 func (d *DurableView[V]) Durability() DurabilityStats {
@@ -370,6 +544,7 @@ func (d *DurableView[V]) Durability() DurabilityStats {
 		CheckpointSeq: d.ckptSeq,
 		Policy:        d.opt.WAL.Policy.String(),
 		Recovery:      d.recovery,
+		Storage:       d.storageHealthLocked(),
 	}
 }
 

@@ -1,0 +1,361 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"adjarray/internal/iofault"
+	"adjarray/internal/wal"
+)
+
+// TestDurableFsyncFailureReadOnly is the stream-level fsyncgate
+// regression: one injected fsync fault must flip the store to
+// read-only, freeze the durable boundary at the last successful fsync,
+// refuse all further appends with ErrReadOnly, and lose no
+// acked-durable batch across reopen.
+func TestDurableFsyncFailureReadOnly(t *testing.T) {
+	ops := plusTimes(t)
+	dir := t.TempDir()
+	batches := durableBatches(31, 6, 5)
+	inj := iofault.New()
+
+	d, err := Open(dir, ops, DurableOptions[float64]{FS: iofault.Wrap(iofault.OS, inj)})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := d.Append(batches[0]); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if h := d.StorageHealth(); h.State != StorageOK || h.Faults != 0 {
+		t.Fatalf("healthy store reports %+v", h)
+	}
+
+	inj.Arm(iofault.Rule{Op: iofault.OpSync, Path: "wal-", Kind: iofault.EIO, Count: 1})
+	err = d.Append(batches[1])
+	if err == nil {
+		t.Fatal("append over failed fsync must error")
+	}
+	if !errors.Is(err, ErrReadOnly) || !errors.Is(err, wal.ErrWedged) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want ErrReadOnly wrapping the wedged EIO, got %v", err)
+	}
+	if st := d.Durability(); st.DurableEpoch != 1 {
+		t.Fatalf("failed fsync advanced DurableEpoch to %d; must stay 1", st.DurableEpoch)
+	}
+	if h := d.StorageHealth(); h.State != StorageReadOnly || h.Faults == 0 || h.Err == "" {
+		t.Fatalf("after fsync failure health = %+v, want read-only with faults", h)
+	}
+
+	// The fault budget is spent — the disk is healthy again — but the
+	// store stays read-only until reopen, and reads keep working.
+	if err := d.Append(batches[2]); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("append after wedge: want ErrReadOnly, got %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("sync after wedge: want ErrReadOnly, got %v", err)
+	}
+	if err := d.Checkpoint(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("checkpoint after wedge: want ErrReadOnly, got %v", err)
+	}
+	if st := d.Durability(); st.DurableEpoch != 1 || st.Storage.State != StorageReadOnly {
+		t.Fatalf("post-wedge durability = %+v", st)
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatalf("reads must keep serving in read-only state: %v", err)
+	}
+	// Batch 2 applied to the view before its WAL record's fsync failed,
+	// so the in-memory epoch is 2; the durable boundary is 1.
+	if snap.Epoch != 2 {
+		t.Fatalf("snapshot epoch %d, want 2 (view-first append)", snap.Epoch)
+	}
+
+	inj.Clear()
+	d.Abort() // the process dies; the fault condition has cleared
+
+	d2, err := Open(dir, ops, DurableOptions[float64]{})
+	if err != nil {
+		t.Fatalf("reopen after fault cleared: %v", err)
+	}
+	defer d2.Close()
+	got, err := d2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acked batch must survive; batch 2's record hit the file
+	// before its failed fsync, so recovery may deliver it too —
+	// recovering MORE than acked is fine, losing acked data is not.
+	if got.Epoch < 1 {
+		t.Fatalf("recovered epoch %d, lost the acked batch", got.Epoch)
+	}
+	snapEqual(t, got, controlView(t, batches, got.Epoch, ops), "recovered prefix")
+}
+
+// TestDurableCheckpointDegradedNotWedged: checkpoint failures must
+// leave the store degraded — appends still durable through the WAL —
+// and clear on the next successful checkpoint. A transient fault
+// within the retry budget never even degrades.
+func TestDurableCheckpointDegradedNotWedged(t *testing.T) {
+	ops := plusTimes(t)
+	dir := t.TempDir()
+	batches := durableBatches(32, 8, 4)
+	inj := iofault.New()
+
+	d, err := Open(dir, ops, DurableOptions[float64]{
+		FS:                iofault.Wrap(iofault.OS, inj),
+		CheckpointRetries: 2,
+		CheckpointBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer d.Close()
+	for _, b := range batches[:3] {
+		if err := d.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One transient fault, retry budget 2: the checkpoint succeeds on
+	// the second attempt and the store never leaves ok.
+	inj.Arm(iofault.Rule{Op: iofault.OpWrite, Path: ".tmp", Kind: iofault.ENOSPC, Count: 1})
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint with one transient fault must retry and pass: %v", err)
+	}
+	if h := d.StorageHealth(); h.State != StorageOK || h.Faults != 1 {
+		t.Fatalf("after retried checkpoint health = %+v, want ok with 1 fault", h)
+	}
+
+	// A persistent fault exhausts the budget: degraded, not read-only.
+	inj.Arm(iofault.Rule{Op: iofault.OpWrite, Path: ".tmp", Kind: iofault.ENOSPC})
+	if err := d.Append(batches[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("exhausted checkpoint retries: want ENOSPC, got %v", err)
+	}
+	if h := d.StorageHealth(); h.State != StorageDegraded || h.Err == "" {
+		t.Fatalf("after failed checkpoint health = %+v, want degraded", h)
+	}
+	if n := countTmp(t, dir); n != 0 {
+		t.Fatalf("failed checkpoint attempts left %d temp files", n)
+	}
+
+	// Appends keep working and stay durable while degraded.
+	if err := d.Append(batches[4]); err != nil {
+		t.Fatalf("degraded store must keep accepting appends: %v", err)
+	}
+	if st := d.Durability(); st.DurableEpoch != 5 {
+		t.Fatalf("degraded durability = %+v, want DurableEpoch 5 via WAL", st)
+	}
+
+	// The condition clears; the next checkpoint succeeds and the state
+	// machine returns to ok.
+	inj.Clear()
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after faults cleared: %v", err)
+	}
+	if h := d.StorageHealth(); h.State != StorageOK {
+		t.Fatalf("health after recovery = %+v, want ok", h)
+	}
+	if st := d.Durability(); st.CheckpointSeq != 5 {
+		t.Fatalf("recovered checkpoint covers %d, want 5", st.CheckpointSeq)
+	}
+}
+
+// TestDurableOpenReapsTempCheckpoints: orphaned ckpt-*.tmp files (a
+// writer that died mid-publish, or whose cleanup Remove faulted) are
+// reaped on open and counted in RecoveryInfo.
+func TestDurableOpenReapsTempCheckpoints(t *testing.T) {
+	ops := plusTimes(t)
+	dir := t.TempDir()
+	batches := durableBatches(33, 3, 4)
+
+	d, err := Open(dir, ops, DurableOptions[float64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := d.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ckpt-12345.tmp", "ckpt-orphan.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d2, err := Open(dir, ops, DurableOptions[float64]{})
+	if err != nil {
+		t.Fatalf("reopen over orphaned temps: %v", err)
+	}
+	defer d2.Close()
+	if rec := d2.Recovery(); rec.ReapedTempFiles != 2 {
+		t.Fatalf("recovery reaped %d temp files, want 2 (%+v)", rec.ReapedTempFiles, rec)
+	}
+	if n := countTmp(t, dir); n != 0 {
+		t.Fatalf("%d temp files survived open", n)
+	}
+	got, err := d2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapEqual(t, got, controlView(t, batches, 3, ops), "recovery after reap")
+}
+
+// TestShardedDegradedSiblingIsolation faults one shard's directory
+// while its siblings stay healthy: ingest routed to the sick shard
+// sheds with ErrReadOnly, healthy shards keep accepting, reads gather
+// every shard's last good epoch, and recovery after the fault clears
+// is bit-identical to the acked history.
+func TestShardedDegradedSiblingIsolation(t *testing.T) {
+	ops := plusTimes(t)
+	dir := t.TempDir()
+	const shards = 3
+	const sick = 1
+	inj := iofault.New()
+
+	sv, err := OpenSharded(dir, ops, ShardedOptions{Shards: shards},
+		DurableOptions[float64]{FS: iofault.Wrap(iofault.OS, inj)})
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+
+	// Craft per-shard sub-batches with explicit ascending keys so a
+	// control view can replay the exact acked history.
+	srcFor := func(shard, n int) []string {
+		var out []string
+		for i := 0; len(out) < n; i++ {
+			s := fmt.Sprintf("node%04d", i)
+			if sv.ShardFor(s) == shard {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	key := 0
+	mkBatch := func(shard, n int) []Edge[float64] {
+		srcs := srcFor(shard, n)
+		edges := make([]Edge[float64], n)
+		for i := range edges {
+			edges[i] = Weighted(fmtKey(key), srcs[i], fmt.Sprintf("dst%02d", key%7), float64(key%5)+1, float64(key%3)+1)
+			key++
+		}
+		return edges
+	}
+	var acked [][]Edge[float64]
+	appendAcked := func(b []Edge[float64]) {
+		t.Helper()
+		if err := sv.Append(b); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		acked = append(acked, b)
+	}
+
+	for s := 0; s < shards; s++ {
+		appendAcked(mkBatch(s, 4))
+	}
+
+	// The sick shard's directory goes bad: every write to it fails
+	// with ENOSPC. Siblings are untouched.
+	inj.Arm(iofault.Rule{Op: iofault.OpWrite, Path: fmt.Sprintf("shard-%03d", sick), Kind: iofault.ENOSPC})
+
+	err = sv.Append(mkBatch(sick, 3))
+	if err == nil {
+		t.Fatal("ingest to the sick shard must shed")
+	}
+	if !errors.Is(err, ErrReadOnly) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("sick-shard append: want ErrReadOnly wrapping ENOSPC, got %v", err)
+	}
+	beforeEpochs := sv.Stats().Epochs
+
+	// Healthy siblings keep accepting their rows.
+	appendAcked(mkBatch(0, 3))
+	appendAcked(mkBatch(2, 2))
+	if err := sv.Append(mkBatch(sick, 2)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("sick shard must keep shedding, got %v", err)
+	}
+
+	agg, per := sv.StorageHealth()
+	if agg.State != StorageReadOnly || agg.Faults == 0 {
+		t.Fatalf("aggregate health = %+v, want read-only (worst shard)", agg)
+	}
+	if per[sick].State != StorageReadOnly {
+		t.Fatalf("sick shard health = %+v, want read-only", per[sick])
+	}
+	for s := 0; s < shards; s++ {
+		if s != sick && per[s].State != StorageOK {
+			t.Fatalf("healthy shard %d reports %+v", s, per[s])
+		}
+	}
+
+	// Reads still gather ALL shards at their last good epochs.
+	snap, err := sv.Snapshot()
+	if err != nil {
+		t.Fatalf("scatter-gather read while one shard is sick: %v", err)
+	}
+	if snap.Epochs[sick] != beforeEpochs[sick] {
+		t.Fatalf("sick shard pinned epoch %d, want its last good %d", snap.Epochs[sick], beforeEpochs[sick])
+	}
+	if _, err := snap.Adjacency(); err != nil {
+		t.Fatalf("merged adjacency while sick: %v", err)
+	}
+
+	// The fault clears, the process restarts: recovery must be
+	// bit-identical to the acked history (the sick shard's refused
+	// batches never reached its log, so acked == recovered exactly).
+	inj.Clear()
+	sv.Abort()
+	rv, err := OpenSharded(dir, ops, ShardedOptions{Shards: shards}, DurableOptions[float64]{})
+	if err != nil {
+		t.Fatalf("reopen after fault cleared: %v", err)
+	}
+	defer rv.Close()
+
+	control := NewShardedView(ops, ShardedOptions{Shards: shards})
+	for _, b := range acked {
+		if err := control.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotSnap, err := rv.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSnap, err := control.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := gotSnap.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := wantSnap.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapEqual(t, got, want, "sharded recovery after sick shard cleared")
+	if aggR, _ := rv.StorageHealth(); aggR.State != StorageOK {
+		t.Fatalf("recovered store health = %+v, want ok", aggR)
+	}
+}
+
+func countTmp(t *testing.T, dir string) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches)
+}

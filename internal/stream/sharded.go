@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"adjarray/internal/assoc"
+	"adjarray/internal/iofault"
 	"adjarray/internal/keys"
 	"adjarray/internal/semiring"
 	"adjarray/internal/shard"
@@ -148,8 +149,12 @@ func OpenSharded[V any](dir string, ops semiring.Ops[V], opt ShardedOptions, dop
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
 	}
+	fsys := dopt.FS
+	if fsys == nil {
+		fsys = iofault.OS
+	}
 	metaPath := filepath.Join(dir, shardMetaFile)
-	if data, err := os.ReadFile(metaPath); err == nil {
+	if data, err := fsys.ReadFile(metaPath); err == nil {
 		rec, perr := strconv.Atoi(strings.TrimSpace(string(data)))
 		if perr != nil || rec < 1 {
 			return nil, fmt.Errorf("stream: %s holds %q, not a shard count", metaPath, strings.TrimSpace(string(data)))
@@ -161,10 +166,10 @@ func OpenSharded[V any](dir string, ops semiring.Ops[V], opt ShardedOptions, dop
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	} else {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
-		if err := os.WriteFile(metaPath, []byte(strconv.Itoa(n)+"\n"), 0o644); err != nil {
+		if err := fsys.WriteFile(metaPath, []byte(strconv.Itoa(n)+"\n"), 0o644); err != nil {
 			return nil, err
 		}
 	}
@@ -419,6 +424,34 @@ func (sv *ShardedView[V]) Durability() []DurabilityStats {
 		out[i] = d.Durability()
 	}
 	return out
+}
+
+// StorageHealth aggregates the per-shard storage states: the worst
+// per-shard state (a single read-only shard makes the aggregate
+// read-only — that slice of the vertex space is shedding writes), the
+// summed fault count, and the first sick shard's error. per is the
+// per-shard breakdown in shard order, nil for in-memory views. Note
+// the append path stays per-shard: healthy siblings keep accepting
+// their rows even while the aggregate reads read-only, so callers
+// shedding on the aggregate alone over-shed; map per-append errors
+// (ErrReadOnly) instead and use the aggregate for health reporting.
+func (sv *ShardedView[V]) StorageHealth() (agg StorageHealth, per []StorageHealth) {
+	if sv.durables == nil {
+		return StorageHealth{}, nil
+	}
+	per = make([]StorageHealth, len(sv.durables))
+	for i, d := range sv.durables {
+		h := d.StorageHealth()
+		per[i] = h
+		agg.Faults += h.Faults
+		if h.State > agg.State {
+			agg.State = h.State
+		}
+		if agg.Err == "" && h.Err != "" {
+			agg.Err = fmt.Sprintf("shard %d: %s", i, h.Err)
+		}
+	}
+	return agg, per
 }
 
 // Recovery returns what each shard's Open found on disk, nil for

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"adjarray/internal/iofault"
 )
 
 // Checkpoint file layout: a fixed header followed by the opaque payload.
@@ -29,12 +31,20 @@ const (
 // covering seq.
 func checkpointName(seq uint64) string { return fmt.Sprintf("ckpt-%016x.ckpt", seq) }
 
-// WriteCheckpoint atomically writes a checkpoint covering every WAL
+// WriteCheckpoint writes a checkpoint through the real filesystem. See
+// WriteCheckpointFS.
+func WriteCheckpoint(dir string, seq uint64, payload []byte) (string, error) {
+	return WriteCheckpointFS(iofault.OS, dir, seq, payload)
+}
+
+// WriteCheckpointFS atomically writes a checkpoint covering every WAL
 // record with sequence number <= seq: temp file, fsync, rename into
 // place, directory fsync. A crash at any point leaves either no new
-// checkpoint or a complete one.
-func WriteCheckpoint(dir string, seq uint64, payload []byte) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// checkpoint or a complete one. On failure the temp file is reaped
+// best-effort; ReapTempCheckpoints covers the cases where even the
+// reap fails (disk errors, process death).
+func WriteCheckpointFS(fsys iofault.FS, dir string, seq uint64, payload []byte) (string, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
 	buf := make([]byte, 0, ckptHeaderSize+len(payload))
@@ -49,7 +59,7 @@ func WriteCheckpoint(dir string, seq uint64, payload []byte) (string, error) {
 	binary.LittleEndian.PutUint32(buf[crcAt:], crc32.Checksum(buf[bodyAt:], castagnoli))
 
 	final := filepath.Join(dir, checkpointName(seq))
-	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	tmp, err := fsys.CreateTemp(dir, "ckpt-*.tmp")
 	if err != nil {
 		return "", err
 	}
@@ -57,7 +67,7 @@ func WriteCheckpoint(dir string, seq uint64, payload []byte) (string, error) {
 	// Best-effort unwind of a temp file that was never published; the
 	// write/sync error that triggered cleanup is the one returned.
 	//adjlint:ignore syncerr error-path cleanup of unpublished temp file
-	cleanup := func() { tmp.Close(); os.Remove(tmpPath) }
+	cleanup := func() { tmp.Close(); fsys.Remove(tmpPath) }
 	if _, err := tmp.Write(buf); err != nil {
 		cleanup()
 		return "", err
@@ -67,17 +77,46 @@ func WriteCheckpoint(dir string, seq uint64, payload []byte) (string, error) {
 		return "", err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
+		fsys.Remove(tmpPath) //adjlint:ignore syncerr error-path cleanup of unpublished temp file
 		return "", err
 	}
-	if err := os.Rename(tmpPath, final); err != nil {
-		os.Remove(tmpPath)
+	if err := fsys.Rename(tmpPath, final); err != nil {
+		fsys.Remove(tmpPath) //adjlint:ignore syncerr error-path cleanup of unpublished temp file
 		return "", err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return "", err
 	}
 	return final, nil
+}
+
+// ReapTempCheckpoints removes leftover ckpt-*.tmp files — orphans from
+// a checkpoint write that died (or whose own cleanup Remove faulted)
+// between CreateTemp and rename. Called on open and after failed
+// checkpoint writes; a temp file is never a recovery source, so
+// removal is always safe.
+func ReapTempCheckpoints(fsys iofault.FS, dir string) (removed int, err error) {
+	ents, err := fsys.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		if rerr := fsys.Remove(filepath.Join(dir, name)); rerr != nil {
+			if err == nil {
+				err = rerr
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, err
 }
 
 // checkpointInfo is one discovered checkpoint file.
@@ -89,8 +128,8 @@ type checkpointInfo struct {
 // listCheckpoints returns checkpoint files sorted newest (highest seq)
 // first. Files whose names do not parse are ignored — they cannot be
 // loaded by name anyway and must not block recovery from good ones.
-func listCheckpoints(dir string) ([]checkpointInfo, error) {
-	ents, err := os.ReadDir(dir)
+func listCheckpoints(fsys iofault.FS, dir string) ([]checkpointInfo, error) {
+	ents, err := fsys.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -115,8 +154,8 @@ func listCheckpoints(dir string) ([]checkpointInfo, error) {
 }
 
 // readCheckpoint validates one checkpoint file and returns its payload.
-func readCheckpoint(path string, wantSeq uint64) ([]byte, error) {
-	buf, err := os.ReadFile(path)
+func readCheckpoint(fsys iofault.FS, path string, wantSeq uint64) ([]byte, error) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -144,21 +183,26 @@ func readCheckpoint(path string, wantSeq uint64) ([]byte, error) {
 	return buf[ckptHeaderSize:], nil
 }
 
-// LoadCheckpoint returns the newest checkpoint that passes validation,
-// its covered seq, and the per-file errors of any newer checkpoints
-// skipped on the way (stale checkpoint + longer WAL replay is the
-// designed fallback). With no checkpoint files at all it returns
-// seq 0 and a nil payload — an empty-state recovery, not an error.
-// When checkpoint files exist but every one is invalid it fails with
-// the newest file's *CorruptError: silently restarting empty would
-// discard state that provably existed.
+// LoadCheckpoint loads from the real filesystem. See LoadCheckpointFS.
 func LoadCheckpoint(dir string) (payload []byte, seq uint64, skipped []error, err error) {
-	cks, err := listCheckpoints(dir)
+	return LoadCheckpointFS(iofault.OS, dir)
+}
+
+// LoadCheckpointFS returns the newest checkpoint that passes
+// validation, its covered seq, and the per-file errors of any newer
+// checkpoints skipped on the way (stale checkpoint + longer WAL replay
+// is the designed fallback). With no checkpoint files at all it
+// returns seq 0 and a nil payload — an empty-state recovery, not an
+// error. When checkpoint files exist but every one is invalid it fails
+// with the newest file's *CorruptError: silently restarting empty
+// would discard state that provably existed.
+func LoadCheckpointFS(fsys iofault.FS, dir string) (payload []byte, seq uint64, skipped []error, err error) {
+	cks, err := listCheckpoints(fsys, dir)
 	if err != nil {
 		return nil, 0, nil, err
 	}
 	for _, ck := range cks {
-		p, rerr := readCheckpoint(ck.path, ck.seq)
+		p, rerr := readCheckpoint(fsys, ck.path, ck.seq)
 		if rerr == nil {
 			return p, ck.seq, skipped, nil
 		}
@@ -170,23 +214,29 @@ func LoadCheckpoint(dir string) (payload []byte, seq uint64, skipped []error, er
 	return nil, 0, nil, nil
 }
 
-// RetireCheckpoints deletes all but the keep newest checkpoint files.
+// RetireCheckpoints retires on the real filesystem. See
+// RetireCheckpointsFS.
 func RetireCheckpoints(dir string, keep int) (removed int, err error) {
+	return RetireCheckpointsFS(iofault.OS, dir, keep)
+}
+
+// RetireCheckpointsFS deletes all but the keep newest checkpoint files.
+func RetireCheckpointsFS(fsys iofault.FS, dir string, keep int) (removed int, err error) {
 	if keep < 1 {
 		keep = 1
 	}
-	cks, err := listCheckpoints(dir)
+	cks, err := listCheckpoints(fsys, dir)
 	if err != nil {
 		return 0, err
 	}
 	for _, ck := range cks[min(keep, len(cks)):] {
-		if err := os.Remove(ck.path); err != nil {
+		if err := fsys.Remove(ck.path); err != nil {
 			return removed, err
 		}
 		removed++
 	}
 	if removed > 0 {
-		if err := syncDir(dir); err != nil {
+		if err := fsys.SyncDir(dir); err != nil {
 			return removed, err
 		}
 	}

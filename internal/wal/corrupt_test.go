@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"adjarray/internal/iofault"
+
 	"bytes"
 	"errors"
 	"os"
@@ -60,7 +62,7 @@ func TestTornTailAtEveryBoundary(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(master)
+	segs, err := listSegments(iofault.OS, master)
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("want single segment, got %d (err %v)", len(segs), err)
 	}
@@ -75,7 +77,7 @@ func TestTornTailAtEveryBoundary(t *testing.T) {
 				continue
 			}
 			dir := cloneLog(t, master)
-			csegs, _ := listSegments(dir)
+			csegs, _ := listSegments(iofault.OS, dir)
 			if err := os.Truncate(csegs[0].path, at); err != nil {
 				t.Fatal(err)
 			}
@@ -118,14 +120,14 @@ func TestBitFlipAtEveryRecord(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	msegs, _ := listSegments(master)
+	msegs, _ := listSegments(iofault.OS, master)
 	bounds := recordBoundaries(t, msegs[0].path)
 
 	for rec := 0; rec < n; rec++ {
 		// Flip a payload byte and separately a header byte of record rec.
 		for _, at := range []int64{bounds[rec] + recordHeaderSize, bounds[rec] + 9} {
 			dir := cloneLog(t, master)
-			csegs, _ := listSegments(dir)
+			csegs, _ := listSegments(iofault.OS, dir)
 			buf, err := os.ReadFile(csegs[0].path)
 			if err != nil {
 				t.Fatal(err)
@@ -168,7 +170,7 @@ func TestBitFlipLengthField(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(iofault.OS, dir)
 	bounds := recordBoundaries(t, segs[0].path)
 	buf, err := os.ReadFile(segs[0].path)
 	if err != nil {
@@ -191,7 +193,7 @@ func TestTornMiddleSegment(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(iofault.OS, dir)
 	if err != nil || len(segs) < 3 {
 		t.Fatalf("want >=3 segments, got %d", len(segs))
 	}
@@ -216,7 +218,7 @@ func TestMissingMiddleSegment(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(iofault.OS, dir)
 	if err != nil || len(segs) < 3 {
 		t.Fatalf("want >=3 segments, got %d", len(segs))
 	}

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"adjarray/internal/iofault"
 )
 
 // RecoverStats reports what Replay found and repaired.
@@ -33,8 +35,8 @@ type segmentInfo struct {
 }
 
 // listSegments returns the log's segment files sorted by start seq.
-func listSegments(dir string) ([]segmentInfo, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys iofault.FS, dir string) ([]segmentInfo, error) {
+	ents, err := fsys.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -63,7 +65,12 @@ func listSegments(dir string) ([]segmentInfo, error) {
 	return segs, nil
 }
 
-// Replay scans the log and calls fn once per valid record with seq >=
+// Replay scans the real filesystem. See ReplayFS.
+func Replay(dir string, fromSeq uint64, fn func(seq uint64, payload []byte) error) (RecoverStats, error) {
+	return ReplayFS(iofault.OS, dir, fromSeq, fn)
+}
+
+// ReplayFS scans the log and calls fn once per valid record with seq >=
 // fromSeq, in sequence order. Records below fromSeq (covered by a
 // checkpoint) are skipped without validation when their whole segment
 // is below the floor, and validated-but-skipped when they share a
@@ -74,9 +81,9 @@ func listSegments(dir string) ([]segmentInfo, error) {
 // that is not the final frame, a sequence gap or repeat, a segment
 // whose first record does not match its file name — aborts with a
 // *CorruptError. An error from fn aborts the replay unchanged.
-func Replay(dir string, fromSeq uint64, fn func(seq uint64, payload []byte) error) (RecoverStats, error) {
+func ReplayFS(fsys iofault.FS, dir string, fromSeq uint64, fn func(seq uint64, payload []byte) error) (RecoverStats, error) {
 	var st RecoverStats
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return st, err
 	}
@@ -102,7 +109,7 @@ func Replay(dir string, fromSeq uint64, fn func(seq uint64, payload []byte) erro
 	expect := segs[0].startSeq
 	for si, seg := range segs {
 		last := si == len(segs)-1
-		buf, err := os.ReadFile(seg.path)
+		buf, err := fsys.ReadFile(seg.path)
 		if err != nil {
 			return st, err
 		}
@@ -120,7 +127,7 @@ func Replay(dir string, fromSeq uint64, fn func(seq uint64, payload []byte) erro
 					return st, &CorruptError{Path: seg.path, Offset: off, Reason: "torn record before the log tail"}
 				}
 				st.TornPath, st.TornOffset, st.TornBytes = seg.path, off, int64(len(buf))-off
-				if err := os.Truncate(seg.path, off); err != nil {
+				if err := fsys.Truncate(seg.path, off); err != nil {
 					return st, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
 				}
 				return st, nil
@@ -157,41 +164,49 @@ func Replay(dir string, fromSeq uint64, fn func(seq uint64, payload []byte) erro
 	return st, nil
 }
 
-// RetireSegments deletes segments every record of which has seq <=
+// RetireSegments retires on the real filesystem. See RetireSegmentsFS.
+func RetireSegments(dir string, uptoSeq uint64) (removed int, err error) {
+	return RetireSegmentsFS(iofault.OS, dir, uptoSeq)
+}
+
+// RetireSegmentsFS deletes segments every record of which has seq <=
 // uptoSeq (i.e. is covered by a checkpoint at uptoSeq). The last
 // segment is never deleted — its end is not knowable from names alone,
 // and the writer may still be appending to its successor numbering.
-func RetireSegments(dir string, uptoSeq uint64) (removed int, err error) {
-	segs, err := listSegments(dir)
+func RetireSegmentsFS(fsys iofault.FS, dir string, uptoSeq uint64) (removed int, err error) {
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return 0, err
 	}
 	for i := 0; i+1 < len(segs); i++ {
 		// Segment i ends at segs[i+1].startSeq - 1.
 		if segs[i+1].startSeq-1 <= uptoSeq {
-			if err := os.Remove(segs[i].path); err != nil {
+			if err := fsys.Remove(segs[i].path); err != nil {
 				return removed, err
 			}
 			removed++
 		}
 	}
 	if removed > 0 {
-		if err := syncDir(dir); err != nil {
+		if err := fsys.SyncDir(dir); err != nil {
 			return removed, err
 		}
 	}
 	return removed, nil
 }
 
-// LogSize sums the byte sizes of all segment files.
-func LogSize(dir string) (int64, error) {
-	segs, err := listSegments(dir)
+// LogSize sums on the real filesystem. See LogSizeFS.
+func LogSize(dir string) (int64, error) { return LogSizeFS(iofault.OS, dir) }
+
+// LogSizeFS sums the byte sizes of all segment files.
+func LogSizeFS(fsys iofault.FS, dir string) (int64, error) {
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return 0, err
 	}
 	var total int64
 	for _, s := range segs {
-		fi, err := os.Stat(s.path)
+		fi, err := fsys.Stat(s.path)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"adjarray/internal/iofault"
+
 	"bytes"
 	"errors"
 	"fmt"
@@ -103,7 +105,7 @@ func TestReplayAfterRetireSegments(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(iofault.OS, dir)
 	if err != nil || len(segs) < 3 {
 		t.Fatalf("want >=3 segments, got %d (err %v)", len(segs), err)
 	}
@@ -305,7 +307,7 @@ func TestRetireCheckpoints(t *testing.T) {
 	if err != nil || n != 3 {
 		t.Fatalf("RetireCheckpoints removed %d (err %v), want 3", n, err)
 	}
-	cks, err := listCheckpoints(dir)
+	cks, err := listCheckpoints(iofault.OS, dir)
 	if err != nil || len(cks) != 2 || cks[0].seq != 5 || cks[1].seq != 4 {
 		t.Fatalf("surviving checkpoints = %v (err %v), want seqs 5,4", cks, err)
 	}
